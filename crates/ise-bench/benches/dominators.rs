@@ -1,0 +1,60 @@
+//! Criterion benchmark backing the dominator-engine study (E5 in DESIGN.md): §5.4 of
+//! the paper reports that at least 70 % of the enumeration time is spent computing
+//! dominators, so the speed of the Lengauer–Tarjan implementation matters. This
+//! benchmark compares it against the iterative (Cooper–Harvey–Kennedy) algorithm on
+//! graphs of increasing size, plus the generalized-dominator enumeration used by the
+//! basic algorithm.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_dominators::multi::enumerate_generalized_dominators;
+use ise_dominators::{iterative_dominators, lengauer_tarjan, Forward};
+use ise_graph::RootedDfg;
+use ise_workloads::random_dag::{random_dag, RandomDagConfig};
+
+fn bench_single_vertex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_vertex_dominators");
+    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    for size in [100usize, 400, 1000] {
+        let rooted = RootedDfg::new(random_dag(&RandomDagConfig::new(size), size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("lengauer_tarjan", size),
+            &rooted,
+            |b, rooted| b.iter(|| lengauer_tarjan(&Forward(rooted))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("iterative", size),
+            &rooted,
+            |b, rooted| b.iter(|| iterative_dominators(&Forward(rooted))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_generalized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generalized_dominators");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for size in [40usize, 80] {
+        let rooted = RootedDfg::new(random_dag(&RandomDagConfig::new(size), 3));
+        let target = ise_graph::NodeId::from_index(rooted.original_len() - 1);
+        let mut excluded = rooted.node_set();
+        excluded.insert(rooted.source());
+        excluded.insert(rooted.sink());
+        for k in [2usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), size),
+                &rooted,
+                |b, rooted| {
+                    b.iter(|| {
+                        enumerate_generalized_dominators(&Forward(rooted), target, k, &excluded)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_vertex, bench_generalized);
+criterion_main!(benches);

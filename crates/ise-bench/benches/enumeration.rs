@@ -1,0 +1,44 @@
+//! Criterion benchmark backing the Figure 5 comparison: the polynomial enumeration
+//! (incremental algorithm, all prunings) against the pruned exhaustive baseline, on
+//! MiBench-like blocks of the paper's small/medium clusters and on a tree-shaped DFG.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_enum::{baseline_cuts_bounded, incremental_cuts, Constraints, EnumContext, PruningConfig};
+use ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
+use ise_workloads::tree::TreeDfgBuilder;
+
+const BASELINE_BUDGET: Option<usize> = Some(2_000_000);
+
+fn contexts() -> Vec<(String, EnumContext)> {
+    let mut out = Vec::new();
+    for size in [20usize, 40, 80] {
+        let dfg = generate_block(&MiBenchLikeConfig::new(size), size as u64)
+            .expect("generator output is valid");
+        out.push((format!("mibench_like_{size}"), EnumContext::new(dfg)));
+    }
+    out.push((
+        "tree_depth_4".to_string(),
+        EnumContext::new(TreeDfgBuilder::new(4).build()),
+    ));
+    out
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let constraints = Constraints::new(4, 2).expect("non-zero constraints");
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (name, ctx) in contexts() {
+        group.bench_with_input(BenchmarkId::new("polynomial", &name), &ctx, |b, ctx| {
+            b.iter(|| incremental_cuts(ctx, &constraints, &PruningConfig::all()))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", &name), &ctx, |b, ctx| {
+            b.iter(|| baseline_cuts_bounded(ctx, &constraints, BASELINE_BUDGET))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark backing the pruning ablation (E4 in DESIGN.md): the incremental
+//! enumeration with all §5.3 prunings, with each one disabled in turn, and with none.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_enum::{incremental_cuts, Constraints, EnumContext, PruningConfig};
+use ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
+
+fn bench_pruning(c: &mut Criterion) {
+    let dfg = generate_block(&MiBenchLikeConfig::new(60), 7).expect("generator output is valid");
+    let ctx = EnumContext::new(dfg);
+    let constraints = Constraints::new(4, 2).expect("non-zero constraints");
+
+    let mut configurations: Vec<(String, PruningConfig)> =
+        vec![("all".to_string(), PruningConfig::all())];
+    for &name in PruningConfig::technique_names() {
+        configurations.push((format!("no_{name}"), PruningConfig::all_except(name)));
+    }
+    configurations.push(("none".to_string(), PruningConfig::none()));
+
+    let mut group = c.benchmark_group("pruning");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (name, pruning) in configurations {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &pruning, |b, pruning| {
+            b.iter(|| incremental_cuts(&ctx, &constraints, pruning))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

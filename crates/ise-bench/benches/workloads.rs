@@ -1,0 +1,32 @@
+//! Criterion benchmark for the analysis substrate: workload generation, graph
+//! augmentation and the reachability/forbidden-path precomputation of §5.4. These are
+//! the fixed per-block costs that every enumeration run pays once.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_enum::EnumContext;
+use ise_graph::{Reachability, RootedDfg};
+use ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precompute");
+    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    for size in [100usize, 400, 1000] {
+        group.bench_with_input(BenchmarkId::new("generate_block", size), &size, |b, &size| {
+            b.iter(|| generate_block(&MiBenchLikeConfig::new(size), 1).expect("valid block"))
+        });
+        let dfg = generate_block(&MiBenchLikeConfig::new(size), 1).expect("valid block");
+        let rooted = RootedDfg::new(dfg.clone());
+        group.bench_with_input(BenchmarkId::new("reachability", size), &rooted, |b, rooted| {
+            b.iter(|| Reachability::compute(rooted))
+        });
+        group.bench_with_input(BenchmarkId::new("enum_context", size), &dfg, |b, dfg| {
+            b.iter(|| EnumContext::new(dfg.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

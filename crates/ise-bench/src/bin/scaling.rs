@@ -1,0 +1,65 @@
+//! Validates the polynomial-complexity claim of §5: the run time of the incremental
+//! enumeration grows polynomially in the block size, with the exponent controlled by
+//! the input/output constraints (`O(n^(Nin+Nout+1))` in the worst case, much lower on
+//! realistic blocks thanks to the §5.3 prunings).
+//!
+//! Output: one row per (size, Nin, Nout) combination with the measured run time and the
+//! empirical growth exponent with respect to the previous size of the same constraint
+//! pair.
+//!
+//! Options (key=value): `sizes` is fixed in code (50..=max_size doubling), `max_size`
+//! (default 200), `seed`, `memory_ratio_pct` (default 15).
+
+use std::collections::HashMap;
+
+use ise_bench::{timed, Options};
+use ise_enum::{incremental_cuts, Constraints, EnumContext, PruningConfig};
+use ise_workloads::random_dag::{random_dag, RandomDagConfig};
+
+fn main() {
+    let opts = Options::from_env();
+    let max_size = opts.usize("max_size", 200);
+    let seed = opts.u64("seed", 42);
+    let memory_ratio = opts.usize("memory_ratio_pct", 15) as f64 / 100.0;
+
+    let mut sizes = Vec::new();
+    let mut n = 50usize;
+    while n <= max_size {
+        sizes.push(n);
+        n *= 2;
+    }
+    let constraint_pairs = [(2usize, 1usize), (3, 1), (4, 1), (4, 2)];
+
+    println!("nodes,nin,nout,seconds,cuts,search_nodes,dominator_runs,growth_exponent");
+    let mut previous: HashMap<(usize, usize), (usize, f64)> = HashMap::new();
+    for &size in &sizes {
+        let cfg = RandomDagConfig::new(size).with_memory_ratio(memory_ratio);
+        let dfg = random_dag(&cfg, seed);
+        let ctx = EnumContext::new(dfg);
+        for &(nin, nout) in &constraint_pairs {
+            let constraints = Constraints::new(nin, nout).expect("non-zero I/O constraints");
+            let (result, elapsed) =
+                timed(|| incremental_cuts(&ctx, &constraints, &PruningConfig::all()));
+            let seconds = elapsed.as_secs_f64();
+            let exponent = previous.get(&(nin, nout)).map(|&(prev_size, prev_secs)| {
+                if prev_secs > 0.0 && size > prev_size {
+                    (seconds / prev_secs).ln() / (size as f64 / prev_size as f64).ln()
+                } else {
+                    f64::NAN
+                }
+            });
+            println!(
+                "{},{},{},{:.6},{},{},{},{}",
+                ctx.rooted().original_len(),
+                nin,
+                nout,
+                seconds,
+                result.stats.valid_cuts,
+                result.stats.search_nodes,
+                result.stats.dominator_runs,
+                exponent.map_or_else(|| "-".to_string(), |e| format!("{e:.2}")),
+            );
+            previous.insert((nin, nout), (size, seconds));
+        }
+    }
+}

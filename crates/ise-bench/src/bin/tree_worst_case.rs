@@ -1,0 +1,59 @@
+//! Regenerates the Figure 4 experiment: the tree-shaped DFGs on which the pruned
+//! exhaustive search degenerates to exponential behaviour (`O(1.6^n)` per the paper)
+//! while the polynomial algorithm keeps growing polynomially.
+//!
+//! Output: one row per tree depth with node count, run time and explored search nodes
+//! of both algorithms, plus the growth factor with respect to the previous depth.
+//!
+//! Options (key=value): `min_depth` (default 3), `max_depth` (default 6), `budget`
+//! (search-node cap for the baseline, 0 = unlimited, default 20000000), `nin`, `nout`.
+
+use ise_bench::{timed, Options};
+use ise_enum::{baseline_cuts_bounded, incremental_cuts, Constraints, EnumContext, PruningConfig};
+use ise_workloads::tree::TreeDfgBuilder;
+
+fn main() {
+    let opts = Options::from_env();
+    let min_depth = opts.usize("min_depth", 3) as u32;
+    let max_depth = opts.usize("max_depth", 6) as u32;
+    let budget = opts.usize("budget", 20_000_000);
+    let budget = if budget == 0 { None } else { Some(budget) };
+    let nin = opts.usize("nin", ise_bench::PAPER_NIN);
+    let nout = opts.usize("nout", ise_bench::PAPER_NOUT);
+    let constraints = Constraints::new(nin, nout).expect("non-zero I/O constraints");
+
+    println!(
+        "depth,nodes,poly_seconds,baseline_seconds,poly_cuts,baseline_cuts,poly_search_nodes,baseline_search_nodes,baseline_truncated"
+    );
+    let mut previous_baseline_nodes: Option<usize> = None;
+    for depth in min_depth..=max_depth {
+        let dfg = TreeDfgBuilder::new(depth).build();
+        let ctx = EnumContext::new(dfg.clone());
+        let (poly, poly_time) =
+            timed(|| incremental_cuts(&ctx, &constraints, &PruningConfig::all()));
+        let (base, base_time) = timed(|| baseline_cuts_bounded(&ctx, &constraints, budget));
+        let truncated = budget.is_some_and(|limit| base.stats.search_nodes >= limit);
+        println!(
+            "{},{},{:.6},{:.6},{},{},{},{},{}",
+            depth,
+            dfg.len(),
+            poly_time.as_secs_f64(),
+            base_time.as_secs_f64(),
+            poly.stats.valid_cuts,
+            base.stats.valid_cuts,
+            poly.stats.search_nodes,
+            base.stats.search_nodes,
+            truncated,
+        );
+        if let Some(prev) = previous_baseline_nodes {
+            if prev > 0 {
+                eprintln!(
+                    "# depth {depth}: baseline search-node growth factor {:.2}x over depth {}",
+                    base.stats.search_nodes as f64 / prev as f64,
+                    depth - 1
+                );
+            }
+        }
+        previous_baseline_nodes = Some(base.stats.search_nodes);
+    }
+}

@@ -1,0 +1,146 @@
+//! The [`FlowGraph`] abstraction and the forward/reverse adapters over [`RootedDfg`].
+
+use ise_graph::{NodeId, RootedDfg};
+
+/// A rooted directed graph as seen by the dominator algorithms.
+///
+/// Vertex ids must be dense indices in `0..num_nodes()`. Implementations are cheap
+/// adapters; the two interesting ones are [`Forward`] (dominators from the artificial
+/// source) and [`Reverse`] (postdominators from the artificial sink).
+pub trait FlowGraph {
+    /// Number of vertices (dense index space).
+    fn num_nodes(&self) -> usize;
+    /// The root from which dominance is computed.
+    fn root(&self) -> NodeId;
+    /// Successors of `node`.
+    fn succs(&self, node: NodeId) -> &[NodeId];
+    /// Predecessors of `node`.
+    fn preds(&self, node: NodeId) -> &[NodeId];
+}
+
+/// Adapter exposing a [`RootedDfg`] rooted at its artificial source (data-flow
+/// direction). Dominators computed on this view are the paper's dominators.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_dominators::{Forward, FlowGraph};
+/// use ise_graph::{DfgBuilder, Operation, RootedDfg};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let _x = b.node(Operation::Not, &[a]);
+/// let rooted = RootedDfg::new(b.build()?);
+/// let fwd = Forward(&rooted);
+/// assert_eq!(fwd.root(), rooted.source());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Forward<'a>(pub &'a RootedDfg);
+
+impl FlowGraph for Forward<'_> {
+    fn num_nodes(&self) -> usize {
+        self.0.num_nodes()
+    }
+
+    fn root(&self) -> NodeId {
+        self.0.source()
+    }
+
+    fn succs(&self, node: NodeId) -> &[NodeId] {
+        self.0.succs(node)
+    }
+
+    fn preds(&self, node: NodeId) -> &[NodeId] {
+        self.0.preds(node)
+    }
+}
+
+/// Adapter exposing a [`RootedDfg`] with all edges reversed, rooted at its artificial
+/// sink. Dominators computed on this view are the paper's postdominators.
+#[derive(Clone, Copy, Debug)]
+pub struct Reverse<'a>(pub &'a RootedDfg);
+
+impl FlowGraph for Reverse<'_> {
+    fn num_nodes(&self) -> usize {
+        self.0.num_nodes()
+    }
+
+    fn root(&self) -> NodeId {
+        self.0.sink()
+    }
+
+    fn succs(&self, node: NodeId) -> &[NodeId] {
+        self.0.preds(node)
+    }
+
+    fn preds(&self, node: NodeId) -> &[NodeId] {
+        self.0.succs(node)
+    }
+}
+
+impl<G: FlowGraph + ?Sized> FlowGraph for &G {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn root(&self) -> NodeId {
+        (**self).root()
+    }
+
+    fn succs(&self, node: NodeId) -> &[NodeId] {
+        (**self).succs(node)
+    }
+
+    fn preds(&self, node: NodeId) -> &[NodeId] {
+        (**self).preds(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_graph::{DfgBuilder, Operation};
+
+    fn rooted() -> RootedDfg {
+        let mut b = DfgBuilder::new("bb");
+        let a = b.input("a");
+        let x = b.node(Operation::Not, &[a]);
+        let _y = b.node(Operation::Add, &[x, a]);
+        RootedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn forward_matches_graph() {
+        let r = rooted();
+        let g = Forward(&r);
+        assert_eq!(g.num_nodes(), r.num_nodes());
+        assert_eq!(g.root(), r.source());
+        for v in r.node_ids() {
+            assert_eq!(g.succs(v), r.succs(v));
+            assert_eq!(g.preds(v), r.preds(v));
+        }
+    }
+
+    #[test]
+    fn reverse_swaps_edges() {
+        let r = rooted();
+        let g = Reverse(&r);
+        assert_eq!(g.root(), r.sink());
+        for v in r.node_ids() {
+            assert_eq!(g.succs(v), r.preds(v));
+            assert_eq!(g.preds(v), r.succs(v));
+        }
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let r = rooted();
+        let g = Forward(&r);
+        let by_ref: &dyn FlowGraph = &g;
+        assert_eq!((&by_ref).num_nodes(), g.num_nodes());
+        assert_eq!((&by_ref).root(), g.root());
+    }
+}

@@ -1,0 +1,199 @@
+//! The Cooper–Harvey–Kennedy iterative dominator algorithm.
+//!
+//! Asymptotically slower than Lengauer–Tarjan but short and easy to convince oneself of,
+//! which makes it the ideal cross-checking oracle for the optimized implementation
+//! (§5.4 of the paper reports that most of the enumeration time is spent computing
+//! dominators, so the fast path must be validated carefully). It is also exposed as an
+//! alternative engine for the dominator ablation experiment (E5 in DESIGN.md).
+
+use ise_graph::{DenseNodeSet, NodeId};
+
+use crate::flow::FlowGraph;
+use crate::tree::DominatorTree;
+
+/// Computes the dominator tree of `graph` with the iterative data-flow algorithm.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_dominators::{iterative_dominators, Forward};
+/// use ise_graph::{DfgBuilder, Operation, RootedDfg};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let x = b.node(Operation::Not, &[a]);
+/// let rooted = RootedDfg::new(b.build()?);
+/// let tree = iterative_dominators(&Forward(&rooted));
+/// assert_eq!(tree.idom(x), Some(a));
+/// # Ok(())
+/// # }
+/// ```
+pub fn iterative_dominators<G: FlowGraph>(graph: &G) -> DominatorTree {
+    let empty = DenseNodeSet::new(graph.num_nodes());
+    iterative_dominators_reduced(graph, &empty)
+}
+
+/// Computes the dominator tree of the reduced graph obtained by deleting the vertices in
+/// `removed`, with the iterative data-flow algorithm.
+///
+/// # Panics
+///
+/// Panics if the root is in `removed` or if `removed` was sized for a different graph.
+pub fn iterative_dominators_reduced<G: FlowGraph>(
+    graph: &G,
+    removed: &DenseNodeSet,
+) -> DominatorTree {
+    let n = graph.num_nodes();
+    let root = graph.root();
+    assert_eq!(removed.capacity(), n, "removed-vertex set sized for a different graph");
+    assert!(!removed.contains(root), "the root of the flow graph cannot be removed");
+
+    // Postorder numbering of the reachable, non-removed subgraph.
+    let mut postorder_of = vec![usize::MAX; n];
+    let mut order: Vec<NodeId> = Vec::new(); // nodes in postorder
+    let mut visited = DenseNodeSet::new(n);
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    visited.insert(root);
+    while let Some(&mut (node, ref mut next_child)) = stack.last_mut() {
+        let succs = graph.succs(node);
+        let mut advanced = false;
+        while *next_child < succs.len() {
+            let succ = succs[*next_child];
+            *next_child += 1;
+            if !visited.contains(succ) && !removed.contains(succ) {
+                visited.insert(succ);
+                stack.push((succ, 0));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            postorder_of[node.index()] = order.len();
+            order.push(node);
+            stack.pop();
+        }
+    }
+
+    // idom is stored as postorder indices while iterating.
+    let mut idom: Vec<usize> = vec![usize::MAX; order.len()];
+    let root_po = postorder_of[root.index()];
+    idom[root_po] = root_po;
+
+    let intersect = |idom: &[usize], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while a < b {
+                a = idom[a];
+            }
+            while b < a {
+                b = idom[b];
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse postorder, skipping the root.
+        for po in (0..order.len()).rev() {
+            if po == root_po {
+                continue;
+            }
+            let node = order[po];
+            let mut new_idom = usize::MAX;
+            for &p in graph.preds(node) {
+                if removed.contains(p) {
+                    continue;
+                }
+                let ppo = postorder_of[p.index()];
+                if ppo == usize::MAX || idom[ppo] == usize::MAX {
+                    continue; // unreachable or not yet processed
+                }
+                new_idom = if new_idom == usize::MAX {
+                    ppo
+                } else {
+                    intersect(&idom, ppo, new_idom)
+                };
+            }
+            if new_idom != usize::MAX && idom[po] != new_idom {
+                idom[po] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    let mut idom_nodes: Vec<Option<NodeId>> = vec![None; n];
+    for (po, &node) in order.iter().enumerate() {
+        if po != root_po && idom[po] != usize::MAX {
+            idom_nodes[node.index()] = Some(order[idom[po]]);
+        }
+    }
+    DominatorTree::from_idoms(root, idom_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{Forward, Reverse};
+    use ise_graph::{DfgBuilder, Operation, RootedDfg};
+
+    fn diamond() -> RootedDfg {
+        let mut b = DfgBuilder::new("diamond");
+        let a = b.input("a");
+        let l = b.node(Operation::Shl, &[a]);
+        let r = b.node(Operation::Shr, &[a]);
+        let m = b.node(Operation::Add, &[l, r]);
+        let _t = b.node(Operation::Not, &[m]);
+        RootedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let g = diamond();
+        let tree = iterative_dominators(&Forward(&g));
+        let (a, l, r, m, t) = (
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+            NodeId::new(4),
+        );
+        assert_eq!(tree.idom(a), Some(g.source()));
+        assert_eq!(tree.idom(l), Some(a));
+        assert_eq!(tree.idom(r), Some(a));
+        assert_eq!(tree.idom(m), Some(a), "join point is dominated by the fork");
+        assert_eq!(tree.idom(t), Some(m));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let g = diamond();
+        let tree = iterative_dominators(&Reverse(&g));
+        let (a, l, m, t) = (NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(4));
+        assert_eq!(tree.idom(a), Some(m));
+        assert_eq!(tree.idom(l), Some(m));
+        assert_eq!(tree.idom(m), Some(t));
+        assert_eq!(tree.idom(t), Some(g.sink()));
+    }
+
+    #[test]
+    fn reduced_variant_reroutes_dominance() {
+        let g = diamond();
+        let (a, l, r, m) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        let mut removed = g.node_set();
+        removed.insert(l);
+        let tree = iterative_dominators_reduced(&Forward(&g), &removed);
+        assert_eq!(tree.idom(m), Some(r), "with the left arm removed, m is reached only via r");
+        assert!(!tree.is_reachable(l));
+        assert!(tree.dominates(a, m));
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for a different graph")]
+    fn wrong_capacity_panics() {
+        let g = diamond();
+        let removed = DenseNodeSet::new(3);
+        let _ = iterative_dominators_reduced(&Forward(&g), &removed);
+    }
+}

@@ -1,0 +1,104 @@
+//! Single- and multiple-vertex dominator computation for ISE identification.
+//!
+//! This crate provides the dominator machinery required by the polynomial-time convex
+//! subgraph enumeration of Bonzini & Pozzi (DATE 2007):
+//!
+//! * [`lengauer_tarjan`] — the `O(e log n)` Lengauer–Tarjan algorithm (simple variant
+//!   with path compression, §5.4 of the paper) over any [`FlowGraph`], optionally with a
+//!   set of *removed* vertices so that it can run on the reduced graphs required by the
+//!   multiple-vertex dominator construction;
+//! * [`iterative_dominators`] — the Cooper–Harvey–Kennedy iterative algorithm, used as a
+//!   cross-checking oracle and as an ablation alternative;
+//! * [`DominatorTree`] — immediate dominators plus constant-time `dominates` ancestry
+//!   queries (§5.4: "Ancestor queries … can be performed in constant time");
+//! * [`postdominators`] — dominators of the reverse graph, rooted at the artificial
+//!   sink;
+//! * [`multi`] — generalized (multiple-vertex) dominators in the sense of Gupta and
+//!   Dubrova et al.: verification of the two defining conditions and polynomial
+//!   enumeration of all dominator sets up to a given cardinality.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ise_dominators::{dominators, postdominators, Forward};
+//! use ise_graph::{DfgBuilder, Operation, RootedDfg};
+//!
+//! let mut b = DfgBuilder::new("bb");
+//! let a = b.input("a");
+//! let x = b.node(Operation::Not, &[a]);
+//! let y = b.node(Operation::Add, &[x, a]);
+//! let rooted = RootedDfg::new(b.build()?);
+//!
+//! let dom = dominators(&Forward(&rooted));
+//! assert!(dom.dominates(a, y));
+//! let pdom = postdominators(&rooted);
+//! assert!(pdom.dominates(y, a));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod iterative;
+mod lt;
+pub mod multi;
+mod tree;
+
+pub use flow::{FlowGraph, Forward, Reverse};
+pub use iterative::iterative_dominators;
+pub use lt::{lengauer_tarjan, lengauer_tarjan_reduced};
+pub use tree::DominatorTree;
+
+use ise_graph::RootedDfg;
+
+/// Computes the dominator tree of a rooted flow graph using Lengauer–Tarjan.
+///
+/// This is a convenience wrapper over [`lengauer_tarjan`]. For the augmented data-flow
+/// graph of a basic block use `dominators(&Forward(&rooted))`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_dominators::{dominators, Forward};
+/// use ise_graph::{DfgBuilder, Operation, RootedDfg};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let x = b.node(Operation::Not, &[a]);
+/// let rooted = RootedDfg::new(b.build()?);
+/// let dom = dominators(&Forward(&rooted));
+/// assert_eq!(dom.idom(x), Some(a));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dominators<G: FlowGraph>(graph: &G) -> DominatorTree {
+    lengauer_tarjan(graph)
+}
+
+/// Computes the postdominator tree of the augmented data-flow graph (dominators of the
+/// reverse graph, rooted at the artificial sink).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_dominators::postdominators;
+/// use ise_graph::{DfgBuilder, Operation, RootedDfg};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let x = b.node(Operation::Not, &[a]);
+/// let y = b.node(Operation::Xor, &[x]);
+/// let rooted = RootedDfg::new(b.build()?);
+/// let pdom = postdominators(&rooted);
+/// assert!(pdom.dominates(y, x), "y postdominates x");
+/// # Ok(())
+/// # }
+/// ```
+pub fn postdominators(graph: &RootedDfg) -> DominatorTree {
+    lengauer_tarjan(&Reverse(graph))
+}

@@ -1,0 +1,391 @@
+//! The Lengauer–Tarjan dominator algorithm (simple variant, `O(e log n)`).
+//!
+//! §5.4 of the paper: "To compute dominators, we implemented the O(n log n) variant of
+//! the Lengauer–Tarjan algorithm, which employs path compression but no tree balancing",
+//! with an *iterative* `eval` ("switching to an iterative implementation cut the number
+//! of memory accesses by a third"). This module follows that prescription: the DFS, the
+//! path compression and the bucket processing are all iterative, and the algorithm can
+//! run on a *reduced* graph (a subset of vertices removed) as required by the
+//! multiple-vertex dominator construction of Dubrova et al. (§5.2).
+
+use ise_graph::{DenseNodeSet, NodeId};
+
+use crate::flow::FlowGraph;
+use crate::tree::DominatorTree;
+
+const UNDEF: u32 = u32::MAX;
+
+/// Computes the dominator tree of `graph` rooted at [`FlowGraph::root`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_dominators::{lengauer_tarjan, Forward};
+/// use ise_graph::{DfgBuilder, Operation, RootedDfg};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let x = b.node(Operation::Not, &[a]);
+/// let y = b.node(Operation::Add, &[x, a]);
+/// let rooted = RootedDfg::new(b.build()?);
+/// let tree = lengauer_tarjan(&Forward(&rooted));
+/// assert_eq!(tree.idom(y), Some(a));
+/// # Ok(())
+/// # }
+/// ```
+pub fn lengauer_tarjan<G: FlowGraph>(graph: &G) -> DominatorTree {
+    let empty = DenseNodeSet::new(graph.num_nodes());
+    lengauer_tarjan_reduced(graph, &empty)
+}
+
+/// Computes the dominator tree of the *reduced* graph obtained by deleting the vertices
+/// in `removed` (and every edge incident to them) from `graph`.
+///
+/// Vertices that become unreachable from the root are reported as unreachable by the
+/// resulting [`DominatorTree`]. This is the primitive used to enumerate multiple-vertex
+/// dominators: removing a seed set and asking for single-vertex dominators of the
+/// remaining graph (§5.2).
+///
+/// # Panics
+///
+/// Panics if the root itself is in `removed`, or if `removed` was sized for a different
+/// graph.
+pub fn lengauer_tarjan_reduced<G: FlowGraph>(
+    graph: &G,
+    removed: &DenseNodeSet,
+) -> DominatorTree {
+    let n = graph.num_nodes();
+    let root = graph.root();
+    assert_eq!(
+        removed.capacity(),
+        n,
+        "removed-vertex set sized for a different graph"
+    );
+    assert!(!removed.contains(root), "the root of the flow graph cannot be removed");
+
+    // Per-node state, indexed by node index.
+    let mut dfnum = vec![UNDEF; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    // vertex[i] = node with dfnum i.
+    let mut vertex: Vec<NodeId> = Vec::with_capacity(n);
+
+    // Iterative depth-first numbering, skipping removed vertices.
+    let mut stack: Vec<(NodeId, Option<NodeId>)> = vec![(root, None)];
+    while let Some((node, from)) = stack.pop() {
+        if dfnum[node.index()] != UNDEF {
+            continue;
+        }
+        dfnum[node.index()] = vertex.len() as u32;
+        vertex.push(node);
+        parent[node.index()] = from;
+        // Push successors in reverse so that the first successor is visited first;
+        // the visiting order does not affect correctness, only determinism.
+        for &succ in graph.succs(node).iter().rev() {
+            if dfnum[succ.index()] == UNDEF && !removed.contains(succ) {
+                stack.push((succ, Some(node)));
+            }
+        }
+    }
+
+    let reached = vertex.len();
+    // semi[v] holds a dfnum; initially each vertex is its own semidominator.
+    let mut semi: Vec<u32> = (0..n)
+        .map(|i| dfnum[i]) // UNDEF for unreachable vertices
+        .collect();
+    let mut ancestor: Vec<Option<NodeId>> = vec![None; n];
+    let mut label: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+    let mut bucket: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+
+    // Iterative path-compressing EVAL (§5.4: an iterative implementation avoids the
+    // recursion that the compiler cannot collapse once path compression kicks in).
+    let mut compress_stack: Vec<NodeId> = Vec::new();
+    let mut eval = |v: NodeId,
+                    ancestor: &mut Vec<Option<NodeId>>,
+                    label: &mut Vec<NodeId>,
+                    semi: &Vec<u32>|
+     -> NodeId {
+        if ancestor[v.index()].is_none() {
+            return v;
+        }
+        // Collect the path from v towards the forest root (excluding the root itself).
+        compress_stack.clear();
+        let mut x = v;
+        while let Some(a) = ancestor[x.index()] {
+            if ancestor[a.index()].is_some() {
+                compress_stack.push(x);
+                x = a;
+            } else {
+                break;
+            }
+        }
+        // Unwind from the top so every ancestor link is already compressed.
+        while let Some(x) = compress_stack.pop() {
+            let a = ancestor[x.index()].expect("path vertices have ancestors");
+            if semi[label[a.index()].index()] < semi[label[x.index()].index()] {
+                label[x.index()] = label[a.index()];
+            }
+            ancestor[x.index()] = ancestor[a.index()];
+        }
+        label[v.index()]
+    };
+
+    // Main loop: vertices in decreasing dfnum order, excluding the root.
+    for i in (1..reached).rev() {
+        let w = vertex[i];
+        // Step 2: compute the semidominator of w.
+        for &v in graph.preds(w) {
+            if dfnum[v.index()] == UNDEF || removed.contains(v) {
+                continue; // predecessor unreachable or deleted in the reduced graph
+            }
+            let u = eval(v, &mut ancestor, &mut label, &semi);
+            if semi[u.index()] < semi[w.index()] {
+                semi[w.index()] = semi[u.index()];
+            }
+        }
+        bucket[vertex[semi[w.index()] as usize].index()].push(w);
+        // LINK(parent[w], w).
+        let p = parent[w.index()].expect("non-root reachable vertices have DFS parents");
+        ancestor[w.index()] = Some(p);
+        // Step 3: implicitly compute immediate dominators for the vertices in
+        // bucket(parent[w]).
+        let in_bucket = std::mem::take(&mut bucket[p.index()]);
+        for v in in_bucket {
+            let u = eval(v, &mut ancestor, &mut label, &semi);
+            idom[v.index()] = if semi[u.index()] < semi[v.index()] {
+                Some(u)
+            } else {
+                Some(p)
+            };
+        }
+    }
+
+    // Step 4: fill in immediate dominators in increasing dfnum order.
+    for i in 1..reached {
+        let w = vertex[i];
+        if idom[w.index()] != Some(vertex[semi[w.index()] as usize]) {
+            let via = idom[w.index()].expect("bucket pass assigned a provisional idom");
+            idom[w.index()] = idom[via.index()];
+        }
+    }
+    idom[root.index()] = None;
+
+    DominatorTree::from_idoms(root, idom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{Forward, Reverse};
+    use crate::iterative::iterative_dominators_reduced;
+    use ise_graph::{Dfg, DfgBuilder, Operation, RootedDfg};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    /// The running example of Figure 1 of the paper.
+    ///
+    /// Roots A(0), B(1), C(2); N(3) = op(A,B); X(4) = op(N,B); Y(5) = op(N,C);
+    /// X and Y are the external outputs.
+    fn figure1() -> RootedDfg {
+        let mut b = DfgBuilder::new("figure1");
+        let a = b.input("A");
+        let bb = b.input("B");
+        let c = b.input("C");
+        let nn = b.named_node(Operation::Add, &[a, bb], Some("N"));
+        let x = b.named_node(Operation::Mul, &[nn, bb], Some("X"));
+        let y = b.named_node(Operation::Sub, &[nn, c], Some("Y"));
+        b.mark_output(x);
+        b.mark_output(y);
+        RootedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn dominators_on_figure1() {
+        let r = figure1();
+        let tree = lengauer_tarjan(&Forward(&r));
+        // All roots are immediately dominated by the artificial source.
+        assert_eq!(tree.idom(n(0)), Some(r.source()));
+        assert_eq!(tree.idom(n(1)), Some(r.source()));
+        assert_eq!(tree.idom(n(2)), Some(r.source()));
+        // N, X and Y join paths from several roots, so their only single-vertex
+        // dominator is the source.
+        assert_eq!(tree.idom(n(3)), Some(r.source()));
+        assert_eq!(tree.idom(n(4)), Some(r.source()));
+        assert_eq!(tree.idom(n(5)), Some(r.source()));
+        assert!(tree.dominates(r.source(), n(5)));
+    }
+
+    #[test]
+    fn postdominators_on_figure1() {
+        let r = figure1();
+        let tree = lengauer_tarjan(&Reverse(&r));
+        // X and Y flow only into the sink.
+        assert_eq!(tree.idom(n(4)), Some(r.sink()));
+        assert_eq!(tree.idom(n(5)), Some(r.sink()));
+        // C is only used by Y, so Y postdominates C.
+        assert_eq!(tree.idom(n(2)), Some(n(5)));
+        // N flows into both X and Y, so its immediate postdominator is the sink.
+        assert_eq!(tree.idom(n(3)), Some(r.sink()));
+        assert!(tree.dominates(n(5), n(2)));
+    }
+
+    #[test]
+    fn linear_chain_dominators() {
+        let mut b = DfgBuilder::new("chain");
+        let a = b.input("a");
+        let x1 = b.node(Operation::Not, &[a]);
+        let x2 = b.node(Operation::Shl, &[x1]);
+        let x3 = b.node(Operation::Add, &[x2]);
+        let r = RootedDfg::new(b.build().unwrap());
+        let tree = lengauer_tarjan(&Forward(&r));
+        assert_eq!(tree.idom(x1), Some(a));
+        assert_eq!(tree.idom(x2), Some(x1));
+        assert_eq!(tree.idom(x3), Some(x2));
+        assert!(tree.dominates(x1, x3));
+        assert!(!tree.dominates(x3, x1));
+    }
+
+    #[test]
+    fn reduced_graph_skips_removed_vertices() {
+        // a -> {u, v} -> m: removing u makes v dominate m.
+        let mut b = DfgBuilder::new("reduced");
+        let a = b.input("a");
+        let u = b.node(Operation::Not, &[a]);
+        let v = b.node(Operation::Shl, &[a]);
+        let m = b.node(Operation::Add, &[u, v]);
+        let r = RootedDfg::new(b.build().unwrap());
+
+        let full = lengauer_tarjan(&Forward(&r));
+        assert_eq!(full.idom(m), Some(a));
+
+        let mut removed = r.node_set();
+        removed.insert(u);
+        let reduced = lengauer_tarjan_reduced(&Forward(&r), &removed);
+        assert_eq!(reduced.idom(m), Some(v));
+        assert!(!reduced.is_reachable(u));
+    }
+
+    #[test]
+    fn removing_all_paths_makes_vertices_unreachable() {
+        let mut b = DfgBuilder::new("cutoff");
+        let a = b.input("a");
+        let u = b.node(Operation::Not, &[a]);
+        let m = b.node(Operation::Add, &[u]);
+        let r = RootedDfg::new(b.build().unwrap());
+        let mut removed = r.node_set();
+        removed.insert(u);
+        let tree = lengauer_tarjan_reduced(&Forward(&r), &removed);
+        assert!(!tree.is_reachable(m));
+        assert_eq!(tree.idom(m), None);
+        assert!(!tree.dominates(a, m));
+    }
+
+    #[test]
+    #[should_panic(expected = "root of the flow graph cannot be removed")]
+    fn removing_the_root_panics() {
+        let mut b = DfgBuilder::new("bad");
+        let a = b.input("a");
+        let _ = b.node(Operation::Not, &[a]);
+        let r = RootedDfg::new(b.build().unwrap());
+        let mut removed = r.node_set();
+        removed.insert(r.source());
+        let _ = lengauer_tarjan_reduced(&Forward(&r), &removed);
+    }
+
+    /// Cross-check Lengauer–Tarjan against the iterative algorithm on a batch of
+    /// pseudo-random DAGs.
+    #[test]
+    fn matches_iterative_algorithm_on_random_dags() {
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..60 {
+            let n = 3 + (next() % 40) as usize;
+            let mut ops = vec![Operation::Input];
+            let mut edges = Vec::new();
+            for i in 1..n {
+                ops.push(if next() % 7 == 0 { Operation::Load } else { Operation::Add });
+                // Every node gets 1..=3 predecessors among earlier nodes.
+                let npreds = 1 + (next() % 3) as usize;
+                for _ in 0..npreds {
+                    let p = (next() % i as u64) as usize;
+                    edges.push((n_of(p), n_of(i)));
+                }
+            }
+            let dfg = Dfg::from_edges(format!("rand{case}"), ops, edges, [], []).unwrap();
+            let rooted = RootedDfg::new(dfg);
+            let empty = rooted.node_set();
+
+            for direction in 0..2 {
+                let (lt, it) = if direction == 0 {
+                    (
+                        lengauer_tarjan(&Forward(&rooted)),
+                        iterative_dominators_reduced(&Forward(&rooted), &empty),
+                    )
+                } else {
+                    (
+                        lengauer_tarjan(&Reverse(&rooted)),
+                        iterative_dominators_reduced(&Reverse(&rooted), &empty),
+                    )
+                };
+                for v in rooted.node_ids() {
+                    assert_eq!(
+                        lt.idom(v),
+                        it.idom(v),
+                        "case {case}, direction {direction}, node {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn n_of(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn reduced_cross_check_on_random_dags() {
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..40 {
+            let n = 4 + (next() % 30) as usize;
+            let mut ops = vec![Operation::Input];
+            let mut edges = Vec::new();
+            for i in 1..n {
+                ops.push(Operation::Add);
+                let npreds = 1 + (next() % 2) as usize;
+                for _ in 0..npreds {
+                    let p = (next() % i as u64) as usize;
+                    edges.push((n_of(p), n_of(i)));
+                }
+            }
+            let dfg = Dfg::from_edges(format!("redrand{case}"), ops, edges, [], []).unwrap();
+            let rooted = RootedDfg::new(dfg);
+            let mut removed = rooted.node_set();
+            // Remove roughly a quarter of the original vertices.
+            for v in rooted.original_node_ids() {
+                if next() % 4 == 0 {
+                    removed.insert(v);
+                }
+            }
+            let lt = lengauer_tarjan_reduced(&Forward(&rooted), &removed);
+            let it = iterative_dominators_reduced(&Forward(&rooted), &removed);
+            for v in rooted.node_ids() {
+                assert_eq!(lt.idom(v), it.idom(v), "case {case}, node {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared precomputed analysis context for the enumeration algorithms.
+
+use ise_dominators::{dominators, postdominators, DominatorTree, Forward};
+use ise_graph::{DenseNodeSet, Dfg, NodeId, Reachability, RootedDfg};
+
+/// Precomputed analyses shared by every enumeration algorithm (§5.4 of the paper):
+/// the augmented graph, pairwise reachability with forbidden-path information, the
+/// dominator and postdominator trees, and operation depths.
+///
+/// Building the context costs `O(n·e/64 + e log n)` and is done once per basic block;
+/// all algorithms (`basic`, `incremental`, `baseline`, `exhaustive`) then borrow it.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_enum::EnumContext;
+/// use ise_graph::{DfgBuilder, Operation};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let x = b.node(Operation::Not, &[a]);
+/// let ctx = EnumContext::new(b.build()?);
+/// assert_eq!(ctx.rooted().original_len(), 2);
+/// assert!(ctx.candidate_outputs().contains(&x));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct EnumContext {
+    rooted: RootedDfg,
+    reach: Reachability,
+    dom: DominatorTree,
+    postdom: DominatorTree,
+    /// Vertices that may never be members of a dominator seed or input set: the
+    /// artificial source and sink.
+    artificial: DenseNodeSet,
+    /// Non-forbidden original vertices, i.e. every vertex that could be part of a cut
+    /// and therefore a candidate output.
+    candidate_outputs: Vec<NodeId>,
+    /// Longest-path depth of every vertex from the roots of the original graph.
+    depth: Vec<u32>,
+}
+
+impl EnumContext {
+    /// Builds the context for a basic block.
+    pub fn new(dfg: Dfg) -> Self {
+        Self::from_rooted(RootedDfg::new(dfg))
+    }
+
+    /// Builds the context from an already augmented graph.
+    pub fn from_rooted(rooted: RootedDfg) -> Self {
+        let reach = Reachability::compute(&rooted);
+        let dom = dominators(&Forward(&rooted));
+        let postdom = postdominators(&rooted);
+
+        let mut artificial = rooted.node_set();
+        artificial.insert(rooted.source());
+        artificial.insert(rooted.sink());
+
+        let candidate_outputs: Vec<NodeId> = rooted
+            .original_node_ids()
+            .filter(|&v| !rooted.is_forbidden(v))
+            .collect();
+
+        let succs: Vec<Vec<NodeId>> = rooted
+            .original_node_ids()
+            .map(|v| rooted.dfg().succs(v).to_vec())
+            .collect();
+        let preds: Vec<Vec<NodeId>> = rooted
+            .original_node_ids()
+            .map(|v| rooted.dfg().preds(v).to_vec())
+            .collect();
+        let depth = ise_graph::depths_from_roots(&succs, &preds);
+
+        EnumContext {
+            rooted,
+            reach,
+            dom,
+            postdom,
+            artificial,
+            candidate_outputs,
+            depth,
+        }
+    }
+
+    /// The augmented graph.
+    pub fn rooted(&self) -> &RootedDfg {
+        &self.rooted
+    }
+
+    /// The underlying (non-augmented) data-flow graph.
+    pub fn dfg(&self) -> &Dfg {
+        self.rooted.dfg()
+    }
+
+    /// Pairwise reachability and forbidden-path information.
+    pub fn reach(&self) -> &Reachability {
+        &self.reach
+    }
+
+    /// The dominator tree (rooted at the artificial source).
+    pub fn dominator_tree(&self) -> &DominatorTree {
+        &self.dom
+    }
+
+    /// The postdominator tree (rooted at the artificial sink).
+    pub fn postdominator_tree(&self) -> &DominatorTree {
+        &self.postdom
+    }
+
+    /// The artificial source and sink as a set, for use as an exclusion set when
+    /// enumerating dominators.
+    pub fn artificial(&self) -> &DenseNodeSet {
+        &self.artificial
+    }
+
+    /// The non-forbidden original vertices: every legal cut member and therefore every
+    /// legal chosen output.
+    pub fn candidate_outputs(&self) -> &[NodeId] {
+        &self.candidate_outputs
+    }
+
+    /// Longest-path depth (in edges) of `node` from the roots of the original graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the artificial source or sink.
+    pub fn depth(&self, node: NodeId) -> u32 {
+        self.depth[node.index()]
+    }
+
+    /// Whether every path from the artificial source to `target` passes through a
+    /// member of `set` (condition 1 of the generalized-dominator definition).
+    ///
+    /// An empty `set` dominates nothing (the source itself is never in `set`).
+    pub fn set_dominates(&self, set: &DenseNodeSet, target: NodeId) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        let source = self.rooted.source();
+        if set.contains(target) {
+            return true;
+        }
+        // DFS from the source that never enters `set`; if it reaches `target`, some
+        // path avoids the set.
+        let mut visited = self.rooted.node_set();
+        visited.insert(source);
+        let mut stack = vec![source];
+        while let Some(v) = stack.pop() {
+            for &s in self.rooted.succs(v) {
+                if s == target {
+                    return false;
+                }
+                if !set.contains(s) && visited.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_graph::{DfgBuilder, Operation};
+
+    fn sample() -> (EnumContext, [NodeId; 5]) {
+        // a, b inputs; n = a+b; x = n<<1; st = store(x)
+        let mut bld = DfgBuilder::new("ctx");
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let n = bld.node(Operation::Add, &[a, b]);
+        let x = bld.node(Operation::Shl, &[n]);
+        let st = bld.node(Operation::Store, &[x]);
+        let ctx = EnumContext::new(bld.build().unwrap());
+        (ctx, [a, b, n, x, st])
+    }
+
+    #[test]
+    fn candidate_outputs_exclude_forbidden_and_inputs() {
+        let (ctx, [a, b, n, x, st]) = sample();
+        let c = ctx.candidate_outputs();
+        assert!(c.contains(&n));
+        assert!(c.contains(&x));
+        assert!(!c.contains(&a));
+        assert!(!c.contains(&b));
+        assert!(!c.contains(&st), "stores are forbidden");
+    }
+
+    #[test]
+    fn depths_follow_the_original_graph() {
+        let (ctx, [a, _, n, x, st]) = sample();
+        assert_eq!(ctx.depth(a), 0);
+        assert_eq!(ctx.depth(n), 1);
+        assert_eq!(ctx.depth(x), 2);
+        assert_eq!(ctx.depth(st), 3);
+    }
+
+    #[test]
+    fn set_dominates_checks_condition_one() {
+        let (ctx, [a, b, n, x, _]) = sample();
+        let both = DenseNodeSet::from_nodes(ctx.rooted().num_nodes(), [a, b]);
+        assert!(ctx.set_dominates(&both, n));
+        assert!(ctx.set_dominates(&both, x));
+        let only_a = DenseNodeSet::from_nodes(ctx.rooted().num_nodes(), [a]);
+        assert!(!ctx.set_dominates(&only_a, n), "paths via b avoid a");
+        let just_n = DenseNodeSet::from_nodes(ctx.rooted().num_nodes(), [n]);
+        assert!(ctx.set_dominates(&just_n, x));
+        let empty = ctx.rooted().node_set();
+        assert!(!ctx.set_dominates(&empty, x));
+        assert!(ctx.set_dominates(&just_n, n), "a set dominates its own members");
+    }
+
+    #[test]
+    fn trees_are_consistent_with_reachability() {
+        let (ctx, [_, _, n, x, _]) = sample();
+        assert!(ctx.dominator_tree().dominates(n, x));
+        assert!(ctx.postdominator_tree().dominates(x, n));
+        assert!(ctx.reach().reaches(n, x));
+    }
+}

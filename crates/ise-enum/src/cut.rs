@@ -1,0 +1,475 @@
+//! Convex cuts: candidate instruction-set extensions.
+
+use std::fmt;
+
+use ise_graph::{DenseNodeSet, NodeId};
+
+use crate::config::Constraints;
+use crate::context::EnumContext;
+
+/// A cut of the data-flow graph: a candidate custom instruction (Definition 1/2).
+///
+/// A `Cut` stores the member vertices (the *body* `S`), the derived input vertices
+/// `I(S)` (producers of values consumed by the cut but computed outside it) and the
+/// derived output vertices `O(S)` (members whose value is consumed outside the cut,
+/// including externally-visible values). Inputs and outputs are stored sorted, so two
+/// cuts compare equal iff they are the same subgraph.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_enum::{Cut, EnumContext};
+/// use ise_graph::{DenseNodeSet, DfgBuilder, Operation};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let n = b.node(Operation::Add, &[a, c]);
+/// let x = b.node(Operation::Shl, &[n]);
+/// let ctx = EnumContext::new(b.build()?);
+///
+/// let body = DenseNodeSet::from_nodes(ctx.rooted().num_nodes(), [n, x]);
+/// let cut = Cut::from_body(&ctx, body);
+/// assert_eq!(cut.inputs(), &[a, c]);
+/// assert_eq!(cut.outputs(), &[x]);
+/// assert!(cut.is_convex(&ctx));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cut {
+    body: DenseNodeSet,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+/// The reason a candidate cut was rejected by [`Cut::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CutRejection {
+    /// The body is empty.
+    Empty,
+    /// The body contains a forbidden vertex (memory operation, external input, or the
+    /// artificial source/sink).
+    Forbidden(NodeId),
+    /// The cut needs more register-file read ports than allowed.
+    TooManyInputs(usize),
+    /// The cut needs more register-file write ports than allowed.
+    TooManyOutputs(usize),
+    /// The cut is not convex.
+    NotConvex,
+    /// The cut violates the paper's input/output technical condition (§3): some input
+    /// is reachable from the root only through other inputs.
+    IoCondition(NodeId),
+    /// The cut is not connected but only connected cuts were requested.
+    Disconnected,
+    /// The cut exceeds the configured depth limit.
+    TooDeep(u32),
+}
+
+impl Cut {
+    /// Builds a cut from its body, deriving the input and output sets.
+    ///
+    /// Inputs are predecessors (in the original graph) of body members that are not
+    /// themselves members; outputs are members with a successor outside the body *in
+    /// the augmented graph*, so that externally-visible values (members of `Oext`,
+    /// which feed the artificial sink) count against the output-port budget.
+    pub fn from_body(ctx: &EnumContext, body: DenseNodeSet) -> Self {
+        let rooted = ctx.rooted();
+        debug_assert_eq!(body.capacity(), rooted.num_nodes());
+        let mut input_set = rooted.node_set();
+        let mut outputs = Vec::new();
+        for v in body.iter() {
+            // Inputs: real operand producers outside the cut (skip the artificial
+            // source feeding roots).
+            for &p in rooted.preds(v) {
+                if !body.contains(p) && p != rooted.source() {
+                    input_set.insert(p);
+                }
+            }
+            // Outputs: any consumer outside the cut, including the artificial sink.
+            if rooted.succs(v).iter().any(|s| !body.contains(*s)) {
+                outputs.push(v);
+            }
+        }
+        Cut {
+            body,
+            inputs: input_set.to_vec(),
+            outputs,
+        }
+    }
+
+    /// The member vertices of the cut.
+    pub fn body(&self) -> &DenseNodeSet {
+        &self.body
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Whether the cut has no members.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Whether `node` is a member of the cut.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.body.contains(node)
+    }
+
+    /// The input vertices `I(S)`, sorted by node id.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The output vertices `O(S)`, sorted by node id.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// A compact key identifying the cut by its inputs and outputs. By Theorem 2 two
+    /// convex cuts of the same graph with equal keys are the same cut, so this is what
+    /// the enumerators use for de-duplication.
+    pub fn key(&self) -> (Vec<NodeId>, Vec<NodeId>) {
+        (self.inputs.clone(), self.outputs.clone())
+    }
+
+    /// Whether the cut is convex (Definition 2): no path between two members leaves the
+    /// cut.
+    pub fn is_convex(&self, ctx: &EnumContext) -> bool {
+        let n = ctx.rooted().num_nodes();
+        let mut below = DenseNodeSet::new(n); // vertices reachable from the body
+        let mut above = DenseNodeSet::new(n); // vertices that reach the body
+        for v in self.body.iter() {
+            below.union_with(ctx.reach().descendants(v));
+            above.union_with(ctx.reach().ancestors(v));
+        }
+        below.intersect_with(&above);
+        below.difference_with(&self.body);
+        below.is_empty()
+    }
+
+    /// Whether the cut satisfies the paper's technical input condition (§3): for every
+    /// input `w` there is a path from the root to `w` that avoids all other inputs (so
+    /// that `w` genuinely feeds the cut rather than only other inputs).
+    ///
+    /// Returns the first offending input on failure.
+    pub fn io_condition_violation(&self, ctx: &EnumContext) -> Option<NodeId> {
+        let rooted = ctx.rooted();
+        let input_set = DenseNodeSet::from_nodes(rooted.num_nodes(), self.inputs.iter().copied());
+        'inputs: for &w in &self.inputs {
+            // DFS from the source avoiding every other input; succeed if w is reached.
+            let mut visited = rooted.node_set();
+            visited.insert(rooted.source());
+            let mut stack = vec![rooted.source()];
+            while let Some(v) = stack.pop() {
+                for &s in rooted.succs(v) {
+                    if s == w {
+                        continue 'inputs;
+                    }
+                    if !input_set.contains(s) && visited.insert(s) {
+                        stack.push(s);
+                    }
+                }
+            }
+            return Some(w);
+        }
+        None
+    }
+
+    /// Whether the cut is connected (Definition 4): it has a single output, or every
+    /// pair of outputs shares an input that reaches both.
+    pub fn is_connected(&self, ctx: &EnumContext) -> bool {
+        if self.outputs.len() <= 1 {
+            return true;
+        }
+        for (i, &o1) in self.outputs.iter().enumerate() {
+            for &o2 in &self.outputs[i + 1..] {
+                let shared = self.inputs.iter().any(|&inp| {
+                    ctx.reach().reaches(inp, o1) && ctx.reach().reaches(inp, o2)
+                });
+                if !shared {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The depth of the cut: the number of edges on the longest path that stays inside
+    /// the body. Single-node cuts have depth 0.
+    pub fn depth(&self, ctx: &EnumContext) -> u32 {
+        let rooted = ctx.rooted();
+        let mut depth = vec![0u32; rooted.num_nodes()];
+        let mut max = 0;
+        for &v in rooted.topological_order() {
+            if !self.body.contains(v) {
+                continue;
+            }
+            for &s in rooted.succs(v) {
+                if self.body.contains(s) {
+                    depth[s.index()] = depth[s.index()].max(depth[v.index()] + 1);
+                    max = max.max(depth[s.index()]);
+                }
+            }
+        }
+        max
+    }
+
+    /// Checks the cut against the full validity definition of §3: non-empty, free of
+    /// forbidden vertices, within the input/output port budget, convex, satisfying the
+    /// technical input condition, and — if requested by `constraints` — connected and
+    /// within the depth limit.
+    ///
+    /// When `require_io_condition` is `false` the technical condition is not enforced;
+    /// this is how the exhaustive baseline of Pozzi et al. defines validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CutRejection`] encountered.
+    pub fn validate(
+        &self,
+        ctx: &EnumContext,
+        constraints: &Constraints,
+        require_io_condition: bool,
+    ) -> Result<(), CutRejection> {
+        if self.body.is_empty() {
+            return Err(CutRejection::Empty);
+        }
+        for v in self.body.iter() {
+            if ctx.rooted().is_forbidden(v) {
+                return Err(CutRejection::Forbidden(v));
+            }
+        }
+        if self.inputs.len() > constraints.max_inputs() {
+            return Err(CutRejection::TooManyInputs(self.inputs.len()));
+        }
+        if self.outputs.len() > constraints.max_outputs() {
+            return Err(CutRejection::TooManyOutputs(self.outputs.len()));
+        }
+        if !self.is_convex(ctx) {
+            return Err(CutRejection::NotConvex);
+        }
+        if require_io_condition {
+            if let Some(w) = self.io_condition_violation(ctx) {
+                return Err(CutRejection::IoCondition(w));
+            }
+        }
+        if constraints.is_connected_only() && !self.is_connected(ctx) {
+            return Err(CutRejection::Disconnected);
+        }
+        if let Some(limit) = constraints.max_depth() {
+            let d = self.depth(ctx);
+            if d > limit {
+                return Err(CutRejection::TooDeep(d));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cut")
+            .field("body", &self.body)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+impl fmt::Display for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cut of {} nodes, {} inputs, {} outputs",
+            self.len(),
+            self.inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_graph::{DfgBuilder, Operation};
+
+    /// a, c inputs; n = a + c; x = n << 1; y = n - c; z = x ^ y; store(z)
+    fn sample() -> (EnumContext, [NodeId; 7]) {
+        let mut b = DfgBuilder::new("cut");
+        let a = b.input("a");
+        let c = b.input("c");
+        let n = b.node(Operation::Add, &[a, c]);
+        let x = b.node(Operation::Shl, &[n]);
+        let y = b.node(Operation::Sub, &[n, c]);
+        let z = b.node(Operation::Xor, &[x, y]);
+        let st = b.node(Operation::Store, &[z]);
+        let ctx = EnumContext::new(b.build().unwrap());
+        (ctx, [a, c, n, x, y, z, st])
+    }
+
+    fn cut_of(ctx: &EnumContext, nodes: &[NodeId]) -> Cut {
+        Cut::from_body(
+            ctx,
+            DenseNodeSet::from_nodes(ctx.rooted().num_nodes(), nodes.iter().copied()),
+        )
+    }
+
+    #[test]
+    fn inputs_and_outputs_are_derived() {
+        let (ctx, [a, c, n, x, y, z, _]) = sample();
+        let cut = cut_of(&ctx, &[n, x, y, z]);
+        assert_eq!(cut.inputs(), &[a, c]);
+        assert_eq!(cut.outputs(), &[z]);
+        assert_eq!(cut.len(), 4);
+        assert!(cut.contains(x));
+        assert!(!cut.contains(a));
+        assert!(!cut.is_empty());
+    }
+
+    #[test]
+    fn internal_fanout_to_outside_creates_outputs() {
+        let (ctx, [a, c, n, x, _, _, _]) = sample();
+        let cut = cut_of(&ctx, &[n, x]);
+        // n also feeds y, which is outside, so n is an output too.
+        assert_eq!(cut.outputs(), &[n, x]);
+        assert_eq!(cut.inputs(), &[a, c]);
+    }
+
+    #[test]
+    fn external_outputs_count_via_the_sink() {
+        let mut b = DfgBuilder::new("liveout");
+        let a = b.input("a");
+        let n = b.node(Operation::Not, &[a]);
+        let m = b.node(Operation::Add, &[n, a]);
+        b.mark_output(n); // n is live out of the block
+        let ctx = EnumContext::new(b.build().unwrap());
+        let cut = cut_of(&ctx, &[n, m]);
+        assert_eq!(cut.outputs(), &[n, m], "live-out n must occupy a write port");
+    }
+
+    #[test]
+    fn convexity_detects_holes() {
+        let (ctx, [_, _, n, x, y, z, _]) = sample();
+        assert!(cut_of(&ctx, &[n, x, y, z]).is_convex(&ctx));
+        assert!(cut_of(&ctx, &[n, x]).is_convex(&ctx));
+        // n and z without the middle layer is not convex: n -> x -> z leaves the cut.
+        assert!(!cut_of(&ctx, &[n, z]).is_convex(&ctx));
+        // x and y are incomparable, so {x, y} is convex even though disconnected-ish.
+        assert!(cut_of(&ctx, &[x, y]).is_convex(&ctx));
+    }
+
+    #[test]
+    fn io_condition_flags_inputs_hidden_behind_inputs() {
+        // r -> i -> x -> z -> y -> o1; i -> y   (z's only root path goes through i)
+        let mut b = DfgBuilder::new("hidden");
+        let i = b.input("i");
+        let x = b.node(Operation::Not, &[i]);
+        let z = b.node(Operation::Shl, &[x]);
+        let y = b.node(Operation::Add, &[z, i]);
+        let o1 = b.node(Operation::Xor, &[y]);
+        let ctx = EnumContext::new(b.build().unwrap());
+        let cut = cut_of(&ctx, &[y, o1]);
+        assert_eq!(cut.inputs(), &[i, z]);
+        // Every source path to z goes through the other input i.
+        assert_eq!(cut.io_condition_violation(&ctx), Some(z));
+        // The full cone has no such problem.
+        let full = cut_of(&ctx, &[x, z, y, o1]);
+        assert_eq!(full.io_condition_violation(&ctx), None);
+    }
+
+    #[test]
+    fn connectedness_requires_a_shared_input() {
+        let (ctx, [_, _, _n, x, y, _, _]) = sample();
+        // x and y share the input n.
+        let cut = cut_of(&ctx, &[x, y]);
+        assert!(cut.is_connected(&ctx));
+        // Two unrelated single-node cuts in one: build a graph with two components.
+        let mut b = DfgBuilder::new("two");
+        let a1 = b.input("a1");
+        let a2 = b.input("a2");
+        let m1 = b.node(Operation::Not, &[a1]);
+        let m2 = b.node(Operation::Not, &[a2]);
+        let ctx2 = EnumContext::new(b.build().unwrap());
+        let cut2 = cut_of(&ctx2, &[m1, m2]);
+        assert!(!cut2.is_connected(&ctx2));
+        assert!(cut_of(&ctx2, &[m1]).is_connected(&ctx2));
+    }
+
+    #[test]
+    fn depth_measures_internal_paths() {
+        let (ctx, [_, _, n, x, y, z, _]) = sample();
+        assert_eq!(cut_of(&ctx, &[n]).depth(&ctx), 0);
+        assert_eq!(cut_of(&ctx, &[n, x]).depth(&ctx), 1);
+        assert_eq!(cut_of(&ctx, &[n, x, y, z]).depth(&ctx), 2);
+        assert_eq!(cut_of(&ctx, &[x, y]).depth(&ctx), 0);
+    }
+
+    #[test]
+    fn validate_applies_every_rule() {
+        let (ctx, [_, _, n, x, y, z, st]) = sample();
+        let four = Constraints::new(4, 2).unwrap();
+        assert!(cut_of(&ctx, &[n, x, y, z]).validate(&ctx, &four, true).is_ok());
+
+        let narrow = Constraints::new(1, 2).unwrap();
+        assert_eq!(
+            cut_of(&ctx, &[n, x, y, z]).validate(&ctx, &narrow, true),
+            Err(CutRejection::TooManyInputs(2))
+        );
+        let one_out = Constraints::new(4, 1).unwrap();
+        assert_eq!(
+            cut_of(&ctx, &[n, x]).validate(&ctx, &one_out, true),
+            Err(CutRejection::TooManyOutputs(2))
+        );
+        assert_eq!(
+            cut_of(&ctx, &[n, z]).validate(&ctx, &four, true),
+            Err(CutRejection::NotConvex)
+        );
+        assert_eq!(
+            cut_of(&ctx, &[st]).validate(&ctx, &four, true),
+            Err(CutRejection::Forbidden(st))
+        );
+        let empty = Cut::from_body(&ctx, ctx.rooted().node_set());
+        assert_eq!(empty.validate(&ctx, &four, true), Err(CutRejection::Empty));
+        let deep = Constraints::new(4, 2).unwrap().with_max_depth(1);
+        assert_eq!(
+            cut_of(&ctx, &[n, x, y, z]).validate(&ctx, &deep, true),
+            Err(CutRejection::TooDeep(2))
+        );
+    }
+
+    #[test]
+    fn validate_connectedness_only_when_requested() {
+        let mut b = DfgBuilder::new("two");
+        let a1 = b.input("a1");
+        let a2 = b.input("a2");
+        let m1 = b.node(Operation::Not, &[a1]);
+        let m2 = b.node(Operation::Not, &[a2]);
+        let ctx = EnumContext::new(b.build().unwrap());
+        let cut = Cut::from_body(
+            &ctx,
+            DenseNodeSet::from_nodes(ctx.rooted().num_nodes(), [m1, m2]),
+        );
+        let free = Constraints::new(4, 2).unwrap();
+        assert!(cut.validate(&ctx, &free, true).is_ok());
+        let connected = free.clone().connected_only(true);
+        assert_eq!(
+            cut.validate(&ctx, &connected, true),
+            Err(CutRejection::Disconnected)
+        );
+    }
+
+    #[test]
+    fn key_and_display() {
+        let (ctx, [a, c, n, x, _, _, _]) = sample();
+        let cut = cut_of(&ctx, &[n, x]);
+        assert_eq!(cut.key(), (vec![a, c], vec![n, x]));
+        let text = cut.to_string();
+        assert!(text.contains("2 nodes"));
+        assert!(format!("{cut:?}").contains("inputs"));
+    }
+}

@@ -1,0 +1,426 @@
+//! The incremental polynomial-time enumeration (§5.2, Figure 3 of the paper), with the
+//! pruning techniques of §5.3.
+//!
+//! The algorithm interleaves three recursive procedures:
+//!
+//! * `PICK-OUTPUT` chooses the next output vertex among the admissible candidates
+//!   (vertices not related by postdominance to an already chosen output);
+//! * `PICK-INPUTS` grows the input set for the current output: the Dubrova-style
+//!   *completions* (single-vertex dominators of the output in the graph reduced by the
+//!   current seed, each of which closes a multiple-vertex dominator) come from a
+//!   Lengauer–Tarjan run on the reduced graph, and the seed itself grows over the
+//!   output's ancestors;
+//! * `CHECK-CUT` rebuilds the cut identified by the chosen inputs and outputs
+//!   (Theorems 2/3), validates it, and recurses into `PICK-OUTPUT` if more outputs may
+//!   be added.
+//!
+//! One deliberate implementation difference from the paper is documented in DESIGN.md:
+//! instead of maintaining the cut body `S` incrementally through `B(V, w)` updates, the
+//! body is rebuilt at every `CHECK-CUT` by a backward closure ([`crate::cone`]). The
+//! rebuild is `O(n)`, the same bound the paper charges per candidate, and the "pruning
+//! while building S" technique maps to aborting the closure as soon as a forbidden
+//! vertex enters it.
+
+use std::collections::HashSet;
+
+use ise_dominators::multi::dominator_completions;
+use ise_dominators::Forward;
+use ise_graph::{DenseNodeSet, NodeId};
+
+use crate::cone::cone;
+use crate::config::{Constraints, PruningConfig};
+use crate::context::EnumContext;
+use crate::cut::Cut;
+use crate::result::Enumeration;
+use crate::stats::EnumStats;
+
+/// Enumerates all valid cuts with the incremental algorithm of Figure 3 and the default
+/// pruning configuration.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_enum::{incremental_cuts, Constraints, EnumContext, PruningConfig};
+/// use ise_graph::{DfgBuilder, Operation};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let n = b.node(Operation::Add, &[a, c]);
+/// let _x = b.node(Operation::Shl, &[n]);
+/// let ctx = EnumContext::new(b.build()?);
+/// let result = incremental_cuts(&ctx, &Constraints::new(2, 2)?, &PruningConfig::all());
+/// assert!(result.stats.valid_cuts > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn incremental_cuts(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+) -> Enumeration {
+    incremental_cuts_bounded(ctx, constraints, pruning, None)
+}
+
+/// Like [`incremental_cuts`] but stops exploring after `max_search_nodes` recursion
+/// steps, reporting the cuts found so far. Useful when sweeping very large blocks in
+/// the benchmark harness. `None` means no limit.
+pub fn incremental_cuts_bounded(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    max_search_nodes: Option<usize>,
+) -> Enumeration {
+    let n = ctx.rooted().num_nodes();
+    let mut search = IncrementalSearch {
+        ctx,
+        constraints,
+        pruning,
+        inputs: Vec::new(),
+        input_set: DenseNodeSet::new(n),
+        outputs: Vec::new(),
+        output_set: DenseNodeSet::new(n),
+        seen: HashSet::new(),
+        cuts: Vec::new(),
+        stats: EnumStats::new(),
+        max_search_nodes,
+    };
+    search.pick_output(constraints.max_inputs(), constraints.max_outputs());
+    Enumeration {
+        cuts: search.cuts,
+        stats: search.stats,
+    }
+}
+
+struct IncrementalSearch<'a> {
+    ctx: &'a EnumContext,
+    constraints: &'a Constraints,
+    pruning: &'a PruningConfig,
+    inputs: Vec<NodeId>,
+    input_set: DenseNodeSet,
+    outputs: Vec<NodeId>,
+    output_set: DenseNodeSet,
+    seen: HashSet<(Vec<NodeId>, Vec<NodeId>)>,
+    cuts: Vec<Cut>,
+    stats: EnumStats,
+    max_search_nodes: Option<usize>,
+}
+
+impl IncrementalSearch<'_> {
+    fn out_of_budget(&self) -> bool {
+        self.max_search_nodes
+            .is_some_and(|limit| self.stats.search_nodes >= limit)
+    }
+
+    /// `PICK-OUTPUT` of Figure 3.
+    fn pick_output(&mut self, remaining_inputs: usize, remaining_outputs: usize) {
+        debug_assert!(remaining_outputs > 0);
+        let candidates = self.ctx.candidate_outputs().to_vec();
+        for o in candidates {
+            if self.out_of_budget() {
+                return;
+            }
+            self.stats.search_nodes += 1;
+            if self.output_set.contains(o) {
+                continue;
+            }
+            // Admissibility (§5.1): two outputs of a convex cut are never related by
+            // postdomination.
+            let postdom = self.ctx.postdominator_tree();
+            if self
+                .outputs
+                .iter()
+                .any(|&p| postdom.dominates(p, o) || postdom.dominates(o, p))
+            {
+                continue;
+            }
+            // Output–output pruning (§5.3): an ancestor of an already chosen output
+            // does not have to be chosen explicitly — it will appear as an internal
+            // output of the candidate body.
+            if self.pruning.output_output
+                && self.outputs.iter().any(|&p| self.ctx.reach().reaches(o, p))
+            {
+                self.stats.pruned_output_output += 1;
+                continue;
+            }
+            // Connectedness pruning (§5.3): when only connected cuts are wanted, every
+            // output after the first must be reachable from an already chosen input.
+            if self.constraints.is_connected_only()
+                && self.pruning.connectedness
+                && !self.outputs.is_empty()
+                && !self.inputs.iter().any(|&i| self.ctx.reach().reaches(i, o))
+            {
+                self.stats.pruned_connectedness += 1;
+                continue;
+            }
+
+            self.outputs.push(o);
+            self.output_set.insert(o);
+            if self.ctx.set_dominates(&self.input_set, o) {
+                self.check_cut(remaining_inputs, remaining_outputs - 1);
+            } else if remaining_inputs > 0 {
+                self.pick_inputs(o, remaining_inputs, remaining_outputs - 1, 0);
+            }
+            self.outputs.pop();
+            self.output_set.remove(o);
+        }
+    }
+
+    /// `PICK-INPUTS` of Figure 3: completions via Lengauer–Tarjan on the reduced graph,
+    /// then seed growth over the output's ancestors.
+    ///
+    /// `min_seed_index` enforces an increasing-id order on the seed vertices added for
+    /// the current output, so that every unordered seed set is explored exactly once
+    /// (the completing vertex found by Lengauer–Tarjan is exempt from the ordering, as
+    /// in Dubrova's construction, so no dominator set is missed).
+    fn pick_inputs(
+        &mut self,
+        output: NodeId,
+        remaining_inputs: usize,
+        remaining_outputs: usize,
+        min_seed_index: usize,
+    ) {
+        debug_assert!(remaining_inputs > 0);
+        if self.out_of_budget() {
+            return;
+        }
+        self.stats.search_nodes += 1;
+
+        // Completions: vertices w such that I ∪ {w} dominates the output, found as the
+        // single-vertex dominators of the output in the graph with I removed.
+        self.stats.dominator_runs += 1;
+        let completions = dominator_completions(
+            &Forward(self.ctx.rooted()),
+            &self.input_set,
+            output,
+            self.ctx.artificial(),
+        );
+        for w in completions {
+            if self.output_set.contains(w) {
+                continue;
+            }
+            // Output–input pruning (§5.3, lossless clean-path form — see DESIGN.md): a
+            // candidate input with no forbidden-free path to the output can never be an
+            // input to this output in a valid cut.
+            if self.pruning.output_input && !self.ctx.reach().clean_reaches(w, output) {
+                self.stats.pruned_output_input += 1;
+                continue;
+            }
+            self.inputs.push(w);
+            self.input_set.insert(w);
+            self.check_cut(remaining_inputs - 1, remaining_outputs);
+            self.inputs.pop();
+            self.input_set.remove(w);
+        }
+
+        if remaining_inputs > 1 {
+            // Seed growth: add one more ancestor of the output to the seed set, in
+            // increasing id order so that each seed set is visited once.
+            let ancestors = self.ctx.reach().ancestors(output).to_vec();
+            for i in ancestors {
+                if self.out_of_budget() {
+                    return;
+                }
+                if i.index() < min_seed_index {
+                    continue;
+                }
+                if i == output
+                    || self.ctx.artificial().contains(i)
+                    || self.input_set.contains(i)
+                    || self.output_set.contains(i)
+                {
+                    continue;
+                }
+                // Output–input pruning (§5.3, lossless clean-path form).
+                if self.pruning.output_input && !self.ctx.reach().clean_reaches(i, output) {
+                    self.stats.pruned_output_input += 1;
+                    continue;
+                }
+                // Input–input pruning (§5.3): discard seeds in which one input
+                // postdominates another.
+                let postdom = self.ctx.postdominator_tree();
+                if self.pruning.input_input
+                    && self
+                        .inputs
+                        .iter()
+                        .any(|&v| postdom.dominates(i, v) || postdom.dominates(v, i))
+                {
+                    self.stats.pruned_input_input += 1;
+                    continue;
+                }
+                // Dominator–input pruning (§5.3, reformulated losslessly — see
+                // DESIGN.md): if every path from the root to the candidate already
+                // crosses the current seed, the candidate can never satisfy the
+                // technical input condition of §3 in any cut grown from this seed.
+                if self.pruning.dominator_input && self.ctx.set_dominates(&self.input_set, i) {
+                    self.stats.pruned_dominator_input += 1;
+                    continue;
+                }
+                self.inputs.push(i);
+                self.input_set.insert(i);
+                self.pick_inputs(output, remaining_inputs - 1, remaining_outputs, i.index() + 1);
+                self.inputs.pop();
+                self.input_set.remove(i);
+            }
+        }
+    }
+
+    /// `CHECK-CUT` of Figure 3: rebuild the candidate body, validate it, and optionally
+    /// extend the cut with further outputs.
+    fn check_cut(&mut self, remaining_inputs: usize, remaining_outputs: usize) {
+        if self.out_of_budget() {
+            return;
+        }
+        self.stats.search_nodes += 1;
+        match cone(
+            self.ctx.rooted(),
+            &self.input_set,
+            &self.outputs,
+            self.pruning.build_s,
+        ) {
+            Ok(body) => self.report_candidate(body),
+            Err(_) => {
+                // "Pruning while building S": the body contains a forbidden vertex, so
+                // it cannot be reported; adding more outputs may still lead elsewhere.
+                self.stats.pruned_build_s += 1;
+            }
+        }
+        if remaining_outputs > 0 {
+            self.pick_output(remaining_inputs, remaining_outputs);
+        }
+    }
+
+    fn report_candidate(&mut self, body: DenseNodeSet) {
+        self.stats.candidates_checked += 1;
+        let cut = Cut::from_body(self.ctx, body);
+        match cut.validate(self.ctx, self.constraints, true) {
+            Ok(()) => {
+                if self.seen.insert(cut.key()) {
+                    self.stats.valid_cuts += 1;
+                    self.cuts.push(cut);
+                } else {
+                    self.stats.rejected_duplicate += 1;
+                }
+            }
+            Err(rejection) => self.stats.record_rejection(rejection),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::basic_cuts;
+    use crate::exhaustive::exhaustive_cuts;
+    use ise_graph::{DfgBuilder, Operation};
+
+    fn keys(result: &Enumeration) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+        let mut keys: Vec<_> = result.cuts.iter().map(Cut::key).collect();
+        keys.sort();
+        keys
+    }
+
+    fn figure1() -> EnumContext {
+        let mut b = DfgBuilder::new("figure1");
+        let a = b.input("A");
+        let bb = b.input("B");
+        let c = b.input("C");
+        let n = b.named_node(Operation::Add, &[a, bb], Some("N"));
+        let x = b.named_node(Operation::Mul, &[n, bb], Some("X"));
+        let y = b.named_node(Operation::Sub, &[n, c], Some("Y"));
+        b.mark_output(x);
+        b.mark_output(y);
+        EnumContext::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn matches_exhaustive_on_figure1() {
+        let ctx = figure1();
+        for (nin, nout) in [(1, 1), (2, 1), (2, 2), (3, 2), (4, 2)] {
+            let constraints = Constraints::new(nin, nout).unwrap();
+            let fast = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+            let oracle = exhaustive_cuts(&ctx, &constraints, true);
+            assert_eq!(keys(&fast), keys(&oracle), "Nin={nin}, Nout={nout}");
+        }
+    }
+
+    #[test]
+    fn matches_basic_with_and_without_pruning() {
+        let ctx = figure1();
+        let constraints = Constraints::new(4, 2).unwrap();
+        let reference = basic_cuts(&ctx, &constraints);
+        for pruning in [PruningConfig::all(), PruningConfig::none()] {
+            let fast = incremental_cuts(&ctx, &constraints, &pruning);
+            assert_eq!(keys(&fast), keys(&reference), "pruning {pruning:?}");
+        }
+    }
+
+    #[test]
+    fn respects_memory_forbidden_nodes() {
+        let mut b = DfgBuilder::new("mem");
+        let a = b.input("a");
+        let c = b.input("c");
+        let ld = b.node(Operation::Load, &[a]);
+        let x = b.node(Operation::Add, &[ld, c]);
+        let y = b.node(Operation::Shl, &[x]);
+        let _z = b.node(Operation::Xor, &[y, c]);
+        let ctx = EnumContext::new(b.build().unwrap());
+        let constraints = Constraints::new(2, 2).unwrap();
+        let fast = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        assert!(fast.cuts.iter().all(|cut| !cut.contains(ld)));
+        let oracle = exhaustive_cuts(&ctx, &constraints, true);
+        assert_eq!(keys(&fast), keys(&oracle));
+    }
+
+    #[test]
+    fn connected_only_mode_discards_disconnected_cuts() {
+        // Two independent chains; a 2-output cut spanning both is valid but not
+        // connected.
+        let mut b = DfgBuilder::new("two-chains");
+        let a1 = b.input("a1");
+        let a2 = b.input("a2");
+        let m1 = b.node(Operation::Not, &[a1]);
+        let m2 = b.node(Operation::Not, &[a2]);
+        let ctx = EnumContext::new(b.build().unwrap());
+        let base = Constraints::new(2, 2).unwrap();
+        let all = incremental_cuts(&ctx, &base, &PruningConfig::all());
+        assert!(all.cuts.iter().any(|c| c.contains(m1) && c.contains(m2)));
+        let connected = base.connected_only(true);
+        let only_connected = incremental_cuts(&ctx, &connected, &PruningConfig::all());
+        assert!(only_connected
+            .cuts
+            .iter()
+            .all(|c| !(c.contains(m1) && c.contains(m2))));
+        let oracle = exhaustive_cuts(&ctx, &connected, true);
+        assert_eq!(keys(&only_connected), keys(&oracle));
+    }
+
+    #[test]
+    fn search_budget_truncates_the_search() {
+        let ctx = figure1();
+        let constraints = Constraints::new(4, 2).unwrap();
+        let full = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        let truncated =
+            incremental_cuts_bounded(&ctx, &constraints, &PruningConfig::all(), Some(2));
+        assert!(truncated.stats.search_nodes <= full.stats.search_nodes);
+        assert!(truncated.cuts.len() <= full.cuts.len());
+    }
+
+    #[test]
+    fn stats_reflect_pruning_activity() {
+        let mut b = DfgBuilder::new("mem");
+        let a = b.input("a");
+        let ld = b.node(Operation::Load, &[a]);
+        let x = b.node(Operation::Add, &[ld, a]);
+        let y = b.node(Operation::Shl, &[x]);
+        let _z = b.node(Operation::Xor, &[y, x]);
+        let ctx = EnumContext::new(b.build().unwrap());
+        let constraints = Constraints::new(3, 2).unwrap();
+        let with = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        let without = incremental_cuts(&ctx, &constraints, &PruningConfig::none());
+        assert_eq!(keys(&with), keys(&without), "pruning must not change the result");
+        assert!(with.stats.search_nodes <= without.stats.search_nodes);
+        assert!(with.stats.dominator_runs > 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! The result of an enumeration run.
+
+use crate::cut::Cut;
+use crate::stats::EnumStats;
+
+/// Cuts found by an enumeration algorithm together with its search statistics.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_enum::{enumerate_cuts, Constraints};
+/// use ise_graph::{DfgBuilder, Operation};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let _x = b.node(Operation::Not, &[a]);
+/// let result = enumerate_cuts(&b.build()?, &Constraints::new(2, 1)?)?;
+/// assert_eq!(result.cuts.len(), result.stats.valid_cuts);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Enumeration {
+    /// The distinct valid cuts, in the order they were discovered.
+    pub cuts: Vec<Cut>,
+    /// Search statistics for the run.
+    pub stats: EnumStats,
+}
+
+impl Enumeration {
+    /// Whether the run found no valid cut.
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+    }
+
+    /// Number of valid cuts found.
+    pub fn len(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Sorts the cuts into a canonical order (by input/output key) so that results of
+    /// different algorithms can be compared directly.
+    pub fn canonicalize(&mut self) {
+        self.cuts.sort_by_key(Cut::key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Constraints;
+    use crate::context::EnumContext;
+    use crate::exhaustive::exhaustive_cuts;
+    use ise_graph::{DfgBuilder, Operation};
+
+    #[test]
+    fn canonicalize_orders_by_key() {
+        let mut b = DfgBuilder::new("bb");
+        let a = b.input("a");
+        let x = b.node(Operation::Not, &[a]);
+        let _y = b.node(Operation::Add, &[x, a]);
+        let ctx = EnumContext::new(b.build().unwrap());
+        let mut result = exhaustive_cuts(&ctx, &Constraints::new(2, 2).unwrap(), true);
+        assert!(!result.is_empty());
+        assert_eq!(result.len(), result.cuts.len());
+        result.canonicalize();
+        let keys: Vec<_> = result.cuts.iter().map(Cut::key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

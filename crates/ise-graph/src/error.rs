@@ -1,0 +1,79 @@
+//! Error type of the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors reported while constructing or validating a data-flow graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has no nodes; an empty basic block cannot be analysed.
+    Empty,
+    /// An edge refers to a node id that does not exist in the graph.
+    UnknownNode {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes actually present.
+        len: usize,
+    },
+    /// An edge connects a node to itself; data-flow graphs of basic blocks are acyclic.
+    SelfLoop {
+        /// The node with a self edge.
+        node: NodeId,
+    },
+    /// The edge list contains a cycle, so the graph is not a DAG.
+    Cycle {
+        /// A node that is part of the detected cycle.
+        node: NodeId,
+    },
+    /// A node was marked as an external output or forbidden more than once in a way
+    /// that conflicts with its role (e.g. an external input marked as output).
+    InvalidMark {
+        /// The node with the conflicting mark.
+        node: NodeId,
+        /// Human-readable description of the conflict.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "data-flow graph has no nodes"),
+            GraphError::UnknownNode { node, len } => {
+                write!(f, "edge refers to unknown node {node} (graph has {len} nodes)")
+            }
+            GraphError::SelfLoop { node } => write!(f, "node {node} has a self loop"),
+            GraphError::Cycle { node } => {
+                write!(f, "graph is not acyclic (cycle through {node})")
+            }
+            GraphError::InvalidMark { node, reason } => {
+                write!(f, "invalid mark on node {node}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::UnknownNode { node: NodeId::new(9), len: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("n9"));
+        assert!(msg.contains('3'));
+        assert_eq!(GraphError::Empty.to_string(), "data-flow graph has no nodes");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

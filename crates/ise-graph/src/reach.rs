@@ -1,0 +1,285 @@
+//! Precomputed reachability and forbidden-path information (§5.3, §5.4).
+
+use crate::bitset::DenseNodeSet;
+use crate::node::NodeId;
+use crate::rooted::RootedDfg;
+
+/// Precomputed path information over a [`RootedDfg`].
+///
+/// §5.4 of the paper lists, among the precomputed data structures, "the presence of
+/// paths between two nodes, and whether any of these paths touches a forbidden node".
+/// This type stores exactly that, as one descendant bit-row per vertex:
+///
+/// * [`Reachability::reaches`] — is there a (possibly empty) path `from → to`?
+/// * [`Reachability::forbidden_between`] — is there a path `from → to` that contains a
+///   forbidden vertex strictly between the two endpoints? Such a pair can never be an
+///   (input, output) pair of a valid cut (output–input pruning, §5.3).
+///
+/// Construction costs `O(n · e / 64)` time and `O(n² / 8)` bytes, negligible for the
+/// basic-block sizes of interest (≤ ~1200 nodes).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_graph::{DfgBuilder, Operation, Reachability, RootedDfg};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let ld = b.node(Operation::Load, &[a]);
+/// let add = b.node(Operation::Add, &[ld, a]);
+/// let rooted = RootedDfg::new(b.build()?);
+/// let reach = Reachability::compute(&rooted);
+///
+/// assert!(reach.reaches(a, add));
+/// assert!(reach.forbidden_between(a, add), "the only a→add path through ld is blocked");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    /// `descendants[v]` contains every vertex reachable from `v` by a non-empty path.
+    descendants: Vec<DenseNodeSet>,
+    /// `ancestors[v]` contains every vertex that reaches `v` by a non-empty path.
+    ancestors: Vec<DenseNodeSet>,
+    /// `tainted[v]` contains every vertex `w` such that some path `v → w` passes
+    /// through a forbidden vertex strictly between `v` and `w`.
+    tainted: Vec<DenseNodeSet>,
+    /// `clean[v]` contains every vertex `w` such that some path `v → w` passes through
+    /// no forbidden vertex strictly between `v` and `w`.
+    clean: Vec<DenseNodeSet>,
+}
+
+impl Reachability {
+    /// Computes reachability over the augmented graph.
+    pub fn compute(graph: &RootedDfg) -> Self {
+        let n = graph.num_nodes();
+        let mut descendants = vec![DenseNodeSet::new(n); n];
+        let mut tainted = vec![DenseNodeSet::new(n); n];
+        let mut clean = vec![DenseNodeSet::new(n); n];
+
+        // Process vertices in reverse topological order so every successor row is final
+        // before it is merged into its predecessors.
+        for &v in graph.topological_order().iter().rev() {
+            let mut desc = DenseNodeSet::new(n);
+            let mut taint = DenseNodeSet::new(n);
+            let mut untainted = DenseNodeSet::new(n);
+            for &s in graph.succs(v) {
+                desc.insert(s);
+                desc.union_with(&descendants[s.index()]);
+                untainted.insert(s);
+                // Paths through a forbidden successor taint everything past it; paths
+                // through a clean successor only propagate its own taint, and only a
+                // non-forbidden successor extends forbidden-free paths.
+                if graph.is_forbidden(s) {
+                    taint.union_with(&descendants[s.index()]);
+                } else {
+                    taint.union_with(&tainted[s.index()]);
+                    untainted.union_with(&clean[s.index()]);
+                }
+            }
+            descendants[v.index()] = desc;
+            tainted[v.index()] = taint;
+            clean[v.index()] = untainted;
+        }
+
+        let mut ancestors = vec![DenseNodeSet::new(n); n];
+        for v in graph.node_ids() {
+            for w in descendants[v.index()].iter() {
+                ancestors[w.index()].insert(v);
+            }
+        }
+
+        Reachability {
+            descendants,
+            ancestors,
+            tainted,
+            clean,
+        }
+    }
+
+    /// Whether there is a non-empty path from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range for the graph this was computed from.
+    #[inline]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.descendants[from.index()].contains(to)
+    }
+
+    /// Whether some path from `from` to `to` contains a forbidden vertex strictly
+    /// between the endpoints. If `true`, `from` can never be an input of a cut that has
+    /// `to` as an output (§5.3, output–input pruning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range for the graph this was computed from.
+    #[inline]
+    pub fn forbidden_between(&self, from: NodeId, to: NodeId) -> bool {
+        self.tainted[from.index()].contains(to)
+    }
+
+    /// Whether some path from `from` to `to` contains *no* forbidden vertex strictly
+    /// between the endpoints. Every input of a valid cut has such a path to at least
+    /// one of the cut's outputs, which is what the (lossless form of the) output–input
+    /// pruning of §5.3 relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range for the graph this was computed from.
+    #[inline]
+    pub fn clean_reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.clean[from.index()].contains(to)
+    }
+
+    /// The set of vertices reachable from `node` (excluding `node` itself unless it lies
+    /// on a cycle, which cannot happen in a DAG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn descendants(&self, node: NodeId) -> &DenseNodeSet {
+        &self.descendants[node.index()]
+    }
+
+    /// The set of vertices that reach `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn ancestors(&self, node: NodeId) -> &DenseNodeSet {
+        &self.ancestors[node.index()]
+    }
+
+    /// Whether `a` and `b` are incomparable (neither reaches the other). Incomparable
+    /// vertices can both be outputs of the same cut only if neither postdominates the
+    /// other.
+    pub fn incomparable(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::op::Operation;
+
+    /// in0 in1
+    ///  |    |
+    ///  ld   add(3)--+
+    ///  (2)  |       |
+    ///   \   shl(4)  |
+    ///    \  /       |
+    ///     or(5)    sub(6)
+    fn sample() -> (RootedDfg, Vec<NodeId>) {
+        let mut b = DfgBuilder::new("bb");
+        let i0 = b.input("i0");
+        let i1 = b.input("i1");
+        let ld = b.node(Operation::Load, &[i0]);
+        let add = b.node(Operation::Add, &[i1]);
+        let shl = b.node(Operation::Shl, &[add]);
+        let or = b.node(Operation::Or, &[ld, shl]);
+        let sub = b.node(Operation::Sub, &[add]);
+        b.mark_output(or);
+        b.mark_output(sub);
+        let rooted = RootedDfg::new(b.build().unwrap());
+        (rooted, vec![i0, i1, ld, add, shl, or, sub])
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let (r, n) = sample();
+        let reach = Reachability::compute(&r);
+        assert!(reach.reaches(n[1], n[5]), "i1 -> add -> shl -> or");
+        assert!(reach.reaches(n[3], n[6]));
+        assert!(!reach.reaches(n[5], n[3]), "no backwards paths");
+        assert!(!reach.reaches(n[0], n[6]));
+        assert!(reach.reaches(r.source(), r.sink()));
+    }
+
+    #[test]
+    fn no_node_reaches_itself_in_a_dag() {
+        let (r, _) = sample();
+        let reach = Reachability::compute(&r);
+        for v in r.node_ids() {
+            assert!(!reach.reaches(v, v));
+        }
+    }
+
+    #[test]
+    fn ancestors_mirror_descendants() {
+        let (r, _) = sample();
+        let reach = Reachability::compute(&r);
+        for v in r.node_ids() {
+            for w in r.node_ids() {
+                assert_eq!(
+                    reach.reaches(v, w),
+                    reach.ancestors(w).contains(v),
+                    "descendants/ancestors disagree for {v}->{w}"
+                );
+                assert_eq!(reach.reaches(v, w), reach.descendants(v).contains(w));
+            }
+        }
+    }
+
+    #[test]
+    fn forbidden_between_detects_blocked_paths() {
+        let (r, n) = sample();
+        let reach = Reachability::compute(&r);
+        // i0 -> ld -> or: the only path passes through the forbidden load.
+        assert!(reach.forbidden_between(n[0], n[5]));
+        // i1 -> add -> shl -> or: clean.
+        assert!(!reach.forbidden_between(n[1], n[5]));
+        // add -> sub: clean single edge.
+        assert!(!reach.forbidden_between(n[3], n[6]));
+        // i0 -> ld: the forbidden node is the endpoint, not strictly between.
+        assert!(!reach.forbidden_between(n[0], n[2]));
+    }
+
+    #[test]
+    fn clean_reaches_requires_a_forbidden_free_path() {
+        let (r, n) = sample();
+        let reach = Reachability::compute(&r);
+        // i0 -> ld -> or: the only path is dirty.
+        assert!(!reach.clean_reaches(n[0], n[5]));
+        // i1 -> add -> shl -> or: clean.
+        assert!(reach.clean_reaches(n[1], n[5]));
+        // Direct edges are always clean, even onto or from forbidden vertices.
+        assert!(reach.clean_reaches(n[0], n[2]));
+        assert!(reach.clean_reaches(n[2], n[5]));
+        // Unreachable pairs are never clean.
+        assert!(!reach.clean_reaches(n[5], n[6]));
+        // Every clean pair is also a reachable pair.
+        for v in r.node_ids() {
+            for w in r.node_ids() {
+                if reach.clean_reaches(v, w) {
+                    assert!(reach.reaches(v, w));
+                }
+                assert_eq!(
+                    reach.reaches(v, w),
+                    reach.clean_reaches(v, w) || reach.forbidden_between(v, w),
+                    "every path is either clean or tainted for {v}->{w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn source_paths_are_tainted_by_forbidden_inputs() {
+        let (r, n) = sample();
+        let reach = Reachability::compute(&r);
+        // source -> i1 (forbidden Iext) -> add: tainted.
+        assert!(reach.forbidden_between(r.source(), n[3]));
+    }
+
+    #[test]
+    fn incomparable_pairs() {
+        let (r, n) = sample();
+        let reach = Reachability::compute(&r);
+        assert!(reach.incomparable(n[5], n[6]));
+        assert!(!reach.incomparable(n[3], n[6]));
+        assert!(!reach.incomparable(n[3], n[3]));
+    }
+}

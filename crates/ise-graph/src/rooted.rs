@@ -1,0 +1,288 @@
+//! Augmentation of a [`Dfg`] with an artificial source and sink.
+
+use crate::bitset::DenseNodeSet;
+use crate::graph::Dfg;
+use crate::node::NodeId;
+use crate::topo::topological_order;
+
+/// A [`Dfg`] augmented with a single artificial *source* and *sink* vertex (§3).
+///
+/// The source is a predecessor of every vertex that has no predecessors (external
+/// inputs, constants, and user-forbidden nodes without predecessors), which makes the
+/// graph rooted; the sink is a successor of every external output, which makes the
+/// *reverse* graph rooted as well. Dominators are computed from the source,
+/// postdominators from the sink.
+///
+/// Node ids of the original graph are preserved; the source and sink occupy the two
+/// indices immediately after the original nodes.
+///
+/// The *effective forbidden set* of the rooted graph contains the user/operation
+/// forbidden set `F`, the external inputs `Iext` (their values are computed outside the
+/// block) and the two artificial vertices (they do not map to any computation).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_graph::{DfgBuilder, Operation, RootedDfg};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let x = b.node(Operation::Not, &[a]);
+/// b.mark_output(x);
+/// let rooted = RootedDfg::new(b.build()?);
+///
+/// assert_eq!(rooted.num_nodes(), 4); // a, x, source, sink
+/// assert_eq!(rooted.succs(rooted.source()), &[a]);
+/// assert_eq!(rooted.succs(x), &[rooted.sink()]);
+/// assert!(rooted.is_forbidden(a));
+/// assert!(!rooted.is_forbidden(x));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RootedDfg {
+    dfg: Dfg,
+    source: NodeId,
+    sink: NodeId,
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+    forbidden: DenseNodeSet,
+    topo: Vec<NodeId>,
+}
+
+impl RootedDfg {
+    /// Augments `dfg` with the artificial source and sink.
+    pub fn new(dfg: Dfg) -> Self {
+        let n = dfg.len();
+        let source = NodeId::from_index(n);
+        let sink = NodeId::from_index(n + 1);
+        let total = n + 2;
+
+        let mut preds: Vec<Vec<NodeId>> = Vec::with_capacity(total);
+        let mut succs: Vec<Vec<NodeId>> = Vec::with_capacity(total);
+        for id in dfg.node_ids() {
+            preds.push(dfg.preds(id).to_vec());
+            succs.push(dfg.succs(id).to_vec());
+        }
+        preds.push(Vec::new()); // source
+        succs.push(Vec::new());
+        preds.push(Vec::new()); // sink
+        succs.push(Vec::new());
+
+        // Source feeds every vertex without predecessors (Iext, constants, forbidden
+        // roots), making the graph rooted.
+        for id in dfg.node_ids() {
+            if dfg.preds(id).is_empty() {
+                preds[id.index()].push(source);
+                succs[source.index()].push(id);
+            }
+        }
+        // Every external output feeds the sink, making the reverse graph rooted.
+        for &out in dfg.external_outputs() {
+            succs[out.index()].push(sink);
+            preds[sink.index()].push(out);
+        }
+
+        let mut forbidden = DenseNodeSet::new(total);
+        for id in dfg.forbidden().iter() {
+            forbidden.insert(id);
+        }
+        for &id in dfg.external_inputs() {
+            forbidden.insert(id);
+        }
+        forbidden.insert(source);
+        forbidden.insert(sink);
+
+        let topo = topological_order(&succs, &preds)
+            .expect("augmenting an acyclic graph cannot create cycles");
+
+        RootedDfg {
+            dfg,
+            source,
+            sink,
+            preds,
+            succs,
+            forbidden,
+            topo,
+        }
+    }
+
+    /// The underlying (non-augmented) data-flow graph.
+    pub fn dfg(&self) -> &Dfg {
+        &self.dfg
+    }
+
+    /// Total number of vertices, including source and sink.
+    pub fn num_nodes(&self) -> usize {
+        self.dfg.len() + 2
+    }
+
+    /// Number of vertices of the original graph (excluding source and sink).
+    pub fn original_len(&self) -> usize {
+        self.dfg.len()
+    }
+
+    /// The artificial source vertex (root of the graph).
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The artificial sink vertex (root of the reverse graph).
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// Whether `node` is the artificial source or sink.
+    pub fn is_artificial(&self, node: NodeId) -> bool {
+        node == self.source || node == self.sink
+    }
+
+    /// Predecessors of `node` in the augmented graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn preds(&self, node: NodeId) -> &[NodeId] {
+        &self.preds[node.index()]
+    }
+
+    /// Successors of `node` in the augmented graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn succs(&self, node: NodeId) -> &[NodeId] {
+        &self.succs[node.index()]
+    }
+
+    /// The effective forbidden set: `F` ∪ `Iext` ∪ {source, sink}.
+    pub fn forbidden(&self) -> &DenseNodeSet {
+        &self.forbidden
+    }
+
+    /// Whether `node` may never be part of a cut.
+    pub fn is_forbidden(&self, node: NodeId) -> bool {
+        self.forbidden.contains(node)
+    }
+
+    /// Iterates over all vertex ids of the augmented graph (original nodes first, then
+    /// source and sink).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::from_index)
+    }
+
+    /// Iterates over the vertex ids of the original graph only.
+    pub fn original_node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.original_len()).map(NodeId::from_index)
+    }
+
+    /// A topological order of the augmented graph (source first, sink last).
+    pub fn topological_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Creates an empty node set sized for the augmented graph.
+    pub fn node_set(&self) -> DenseNodeSet {
+        DenseNodeSet::new(self.num_nodes())
+    }
+}
+
+impl From<Dfg> for RootedDfg {
+    fn from(dfg: Dfg) -> Self {
+        RootedDfg::new(dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::op::Operation;
+
+    fn sample() -> RootedDfg {
+        let mut b = DfgBuilder::new("sample");
+        let a = b.input("a");
+        let c = b.constant("1");
+        let add = b.node(Operation::Add, &[a, c]);
+        let ld = b.node(Operation::Load, &[add]);
+        let out = b.node(Operation::Xor, &[ld, add]);
+        b.mark_output(out);
+        RootedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn source_feeds_all_roots() {
+        let r = sample();
+        let source_succs = r.succs(r.source());
+        assert_eq!(source_succs.len(), 2, "input and constant are roots");
+        assert!(r.preds(NodeId::new(0)).contains(&r.source()));
+        assert!(r.preds(NodeId::new(1)).contains(&r.source()));
+    }
+
+    #[test]
+    fn outputs_feed_sink() {
+        let r = sample();
+        assert_eq!(r.preds(r.sink()), &[NodeId::new(4)]);
+        assert!(r.succs(NodeId::new(4)).contains(&r.sink()));
+    }
+
+    #[test]
+    fn effective_forbidden_set() {
+        let r = sample();
+        assert!(r.is_forbidden(NodeId::new(0)), "Iext");
+        assert!(r.is_forbidden(NodeId::new(1)), "constants are roots and therefore Iext");
+        assert!(!r.is_forbidden(NodeId::new(2)));
+        assert!(r.is_forbidden(NodeId::new(3)), "load");
+        assert!(r.is_forbidden(r.source()));
+        assert!(r.is_forbidden(r.sink()));
+    }
+
+    #[test]
+    fn counts_and_artificial_checks() {
+        let r = sample();
+        assert_eq!(r.num_nodes(), 7);
+        assert_eq!(r.original_len(), 5);
+        assert!(r.is_artificial(r.source()));
+        assert!(r.is_artificial(r.sink()));
+        assert!(!r.is_artificial(NodeId::new(0)));
+        assert_eq!(r.node_ids().count(), 7);
+        assert_eq!(r.original_node_ids().count(), 5);
+        assert_eq!(r.node_set().capacity(), 7);
+    }
+
+    #[test]
+    fn topological_order_has_source_first_and_sink_last() {
+        let r = sample();
+        let order = r.topological_order();
+        assert_eq!(order.len(), 7);
+        assert_eq!(order[0], r.source());
+        assert_eq!(*order.last().unwrap(), r.sink());
+    }
+
+    #[test]
+    fn forbidden_roots_are_reachable_from_source() {
+        // A store with no predecessors must still hang off the source so that the graph
+        // stays rooted (§3: forbidden nodes are connected to the artificial source).
+        let g = Dfg::from_edges(
+            "store-root",
+            vec![Operation::Store, Operation::Input, Operation::Add],
+            vec![(NodeId::new(1), NodeId::new(2))],
+            [],
+            [],
+        )
+        .unwrap();
+        let r = RootedDfg::new(g);
+        assert!(r.succs(r.source()).contains(&NodeId::new(0)));
+    }
+
+    #[test]
+    fn from_impl_matches_new() {
+        let mut b = DfgBuilder::new("conv");
+        let a = b.input("a");
+        let _ = b.node(Operation::Not, &[a]);
+        let dfg = b.build().unwrap();
+        let r: RootedDfg = dfg.clone().into();
+        assert_eq!(r.num_nodes(), RootedDfg::new(dfg).num_nodes());
+    }
+}

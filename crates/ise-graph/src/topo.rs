@@ -1,0 +1,122 @@
+//! Topological ordering and depth computation over adjacency lists.
+
+use crate::node::NodeId;
+
+/// Computes a topological order (producers before consumers) of a DAG given as parallel
+/// successor/predecessor adjacency lists.
+///
+/// # Errors
+///
+/// Returns `Err(node)` with a node that is part of a cycle if the graph is not acyclic.
+///
+/// # Example
+///
+/// ```
+/// use ise_graph::{topological_order, NodeId};
+///
+/// let succs = vec![vec![NodeId::new(1)], vec![NodeId::new(2)], vec![]];
+/// let preds = vec![vec![], vec![NodeId::new(0)], vec![NodeId::new(1)]];
+/// let order = topological_order(&succs, &preds).unwrap();
+/// assert_eq!(order, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+/// ```
+pub fn topological_order(
+    succs: &[Vec<NodeId>],
+    preds: &[Vec<NodeId>],
+) -> Result<Vec<NodeId>, NodeId> {
+    let n = succs.len();
+    debug_assert_eq!(n, preds.len());
+    let mut in_degree: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut ready: Vec<NodeId> = (0..n)
+        .filter(|&i| in_degree[i] == 0)
+        .map(NodeId::from_index)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(node) = ready.pop() {
+        order.push(node);
+        for &succ in &succs[node.index()] {
+            in_degree[succ.index()] -= 1;
+            if in_degree[succ.index()] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        // Some node still has unresolved predecessors: it lies on a cycle.
+        let culprit = (0..n)
+            .find(|&i| in_degree[i] > 0)
+            .map(NodeId::from_index)
+            .expect("missing nodes imply a positive in-degree");
+        Err(culprit)
+    }
+}
+
+/// Computes, for every node, the length (in edges) of the longest path from any root
+/// (node without predecessors) to that node. Roots have depth 0.
+///
+/// This is the "depth" limit used by accelerators such as Configurable Compute
+/// Accelerators (§5.3, output–input pruning) and by the workload generators.
+///
+/// # Example
+///
+/// ```
+/// use ise_graph::{depths_from_roots, NodeId};
+///
+/// let succs = vec![vec![NodeId::new(1)], vec![NodeId::new(2)], vec![]];
+/// let preds = vec![vec![], vec![NodeId::new(0)], vec![NodeId::new(1)]];
+/// assert_eq!(depths_from_roots(&succs, &preds), vec![0, 1, 2]);
+/// ```
+pub fn depths_from_roots(succs: &[Vec<NodeId>], preds: &[Vec<NodeId>]) -> Vec<u32> {
+    let order = topological_order(succs, preds).expect("depths require an acyclic graph");
+    let mut depth = vec![0u32; succs.len()];
+    for &node in &order {
+        for &succ in &succs[node.index()] {
+            depth[succ.index()] = depth[succ.index()].max(depth[node.index()] + 1);
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn order_covers_all_nodes_once() {
+        let succs = vec![vec![n(2)], vec![n(2)], vec![n(3), n(4)], vec![], vec![]];
+        let preds = vec![vec![], vec![], vec![n(0), n(1)], vec![n(2)], vec![n(2)]];
+        let order = topological_order(&succs, &preds).unwrap();
+        assert_eq!(order.len(), 5);
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..5).map(n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let succs = vec![vec![n(1)], vec![n(0)]];
+        let preds = vec![vec![n(1)], vec![n(0)]];
+        let err = topological_order(&succs, &preds).unwrap_err();
+        assert!(err == n(0) || err == n(1));
+    }
+
+    #[test]
+    fn depths_follow_longest_path() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 2 -> 4 -> 3  (longest path to 3 has 3 edges)
+        let succs = vec![vec![n(1), n(2)], vec![n(3)], vec![n(3), n(4)], vec![], vec![n(3)]];
+        let preds = vec![vec![], vec![n(0)], vec![n(0)], vec![n(1), n(2), n(4)], vec![n(2)]];
+        assert_eq!(depths_from_roots(&succs, &preds), vec![0, 1, 1, 3, 2]);
+    }
+
+    #[test]
+    fn isolated_nodes_have_depth_zero() {
+        let succs = vec![vec![], vec![]];
+        let preds = vec![vec![], vec![]];
+        assert_eq!(depths_from_roots(&succs, &preds), vec![0, 0]);
+    }
+}

@@ -1,0 +1,421 @@
+//! A tiny straight-line-code frontend.
+//!
+//! The examples of this repository build their data-flow graphs from small C-like
+//! snippets rather than by hand-wiring node ids; this module provides the required
+//! compiler: a tokenizer and recursive-descent parser for assignment statements over
+//! integer expressions, lowered directly to an [`ise_graph::Dfg`].
+//!
+//! Supported syntax (one statement per `;`):
+//!
+//! ```text
+//! t1 = (a + b) * c;          // binary operators: + - * / % & | ^ << >>
+//! t2 = ~t1 >> 3;             // unary ~, integer literals become constants
+//! t3 = load(a + 4);          // memory accesses (forbidden inside ISEs)
+//! store(t3, t2);             // store(address, value)
+//! out t2, t3;                // mark values as live out of the block
+//! ```
+//!
+//! Identifiers that are used before being defined become external inputs of the block.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ise_graph::{Dfg, DfgBuilder, GraphError, NodeId, Operation};
+
+/// Error reported when compiling a straight-line snippet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A character that is not part of the language was encountered.
+    UnexpectedCharacter(char),
+    /// The parser expected something else at this token.
+    UnexpectedToken(String),
+    /// The snippet ended in the middle of a statement.
+    UnexpectedEnd,
+    /// `out` named a variable that was never defined.
+    UnknownVariable(String),
+    /// The resulting graph was rejected (for example, an empty snippet).
+    Graph(GraphError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnexpectedCharacter(c) => write!(f, "unexpected character {c:?}"),
+            CompileError::UnexpectedToken(t) => write!(f, "unexpected token {t:?}"),
+            CompileError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            CompileError::UnknownVariable(name) => write!(f, "unknown variable {name:?} in out list"),
+            CompileError::Graph(e) => write!(f, "invalid data-flow graph: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<GraphError> for CompileError {
+    fn from(e: GraphError) -> Self {
+        CompileError::Graph(e)
+    }
+}
+
+/// Compiles a straight-line snippet into a data-flow graph.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on any lexical, syntactic or graph-construction problem.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_workloads::expr::compile_block;
+///
+/// let dfg = compile_block(
+///     "sad",
+///     "d = a - b; m = d >> 31; abs = (d ^ m) - m; acc2 = acc + abs; out acc2;",
+/// )?;
+/// assert_eq!(dfg.external_inputs().len(), 4); // a, b, acc and the literal 31
+/// assert!(dfg.len() >= 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile_block(name: &str, source: &str) -> Result<Dfg, CompileError> {
+    let tokens = tokenize(source)?;
+    Parser {
+        tokens,
+        position: 0,
+        builder: DfgBuilder::new(name),
+        variables: HashMap::new(),
+        constants: HashMap::new(),
+    }
+    .parse()
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Number(i64),
+    Symbol(&'static str),
+}
+
+fn tokenize(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(ident));
+            }
+            c if c.is_ascii_digit() => {
+                let mut value = 0i64;
+                while let Some(&c) = chars.peek() {
+                    if let Some(digit) = c.to_digit(10) {
+                        value = value * 10 + i64::from(digit);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Number(value));
+            }
+            '<' | '>' => {
+                chars.next();
+                if chars.peek() == Some(&c) {
+                    chars.next();
+                    tokens.push(Token::Symbol(if c == '<' { "<<" } else { ">>" }));
+                } else {
+                    return Err(CompileError::UnexpectedCharacter(c));
+                }
+            }
+            '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '~' | '(' | ')' | '=' | ';' | ',' => {
+                chars.next();
+                tokens.push(Token::Symbol(match c {
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    '&' => "&",
+                    '|' => "|",
+                    '^' => "^",
+                    '~' => "~",
+                    '(' => "(",
+                    ')' => ")",
+                    '=' => "=",
+                    ';' => ";",
+                    _ => ",",
+                }));
+            }
+            other => return Err(CompileError::UnexpectedCharacter(other)),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    position: usize,
+    builder: DfgBuilder,
+    variables: HashMap<String, NodeId>,
+    constants: HashMap<i64, NodeId>,
+}
+
+impl Parser {
+    fn parse(mut self) -> Result<Dfg, CompileError> {
+        while self.position < self.tokens.len() {
+            self.statement()?;
+        }
+        self.builder.build().map_err(CompileError::from)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.position)
+    }
+
+    fn next(&mut self) -> Result<Token, CompileError> {
+        let token = self.tokens.get(self.position).cloned().ok_or(CompileError::UnexpectedEnd)?;
+        self.position += 1;
+        Ok(token)
+    }
+
+    fn expect_symbol(&mut self, symbol: &str) -> Result<(), CompileError> {
+        match self.next()? {
+            Token::Symbol(s) if s == symbol => Ok(()),
+            other => Err(CompileError::UnexpectedToken(format!("{other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<(), CompileError> {
+        match self.next()? {
+            Token::Ident(name) if name == "out" => {
+                loop {
+                    match self.next()? {
+                        Token::Ident(var) => {
+                            let id = *self
+                                .variables
+                                .get(&var)
+                                .ok_or(CompileError::UnknownVariable(var))?;
+                            self.builder.mark_output(id);
+                        }
+                        other => {
+                            return Err(CompileError::UnexpectedToken(format!("{other:?}")))
+                        }
+                    }
+                    match self.next()? {
+                        Token::Symbol(",") => continue,
+                        Token::Symbol(";") => break,
+                        other => {
+                            return Err(CompileError::UnexpectedToken(format!("{other:?}")))
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Token::Ident(name) if name == "store" => {
+                self.expect_symbol("(")?;
+                let address = self.expression()?;
+                self.expect_symbol(",")?;
+                let value = self.expression()?;
+                self.expect_symbol(")")?;
+                self.expect_symbol(";")?;
+                self.builder.node(Operation::Store, &[address, value]);
+                Ok(())
+            }
+            Token::Ident(name) => {
+                self.expect_symbol("=")?;
+                let value = self.expression()?;
+                self.expect_symbol(";")?;
+                self.variables.insert(name, value);
+                Ok(())
+            }
+            other => Err(CompileError::UnexpectedToken(format!("{other:?}"))),
+        }
+    }
+
+    /// expression := term (("+" | "-" | "&" | "|" | "^" | "<<" | ">>") term)*
+    fn expression(&mut self) -> Result<NodeId, CompileError> {
+        let mut left = self.term()?;
+        while let Some(Token::Symbol(op)) = self.peek() {
+            let operation = match *op {
+                "+" => Operation::Add,
+                "-" => Operation::Sub,
+                "&" => Operation::And,
+                "|" => Operation::Or,
+                "^" => Operation::Xor,
+                "<<" => Operation::Shl,
+                ">>" => Operation::Shr,
+                _ => break,
+            };
+            self.position += 1;
+            let right = self.term()?;
+            left = self.builder.node(operation, &[left, right]);
+        }
+        Ok(left)
+    }
+
+    /// term := factor (("*" | "/" | "%") factor)*
+    fn term(&mut self) -> Result<NodeId, CompileError> {
+        let mut left = self.factor()?;
+        while let Some(Token::Symbol(op)) = self.peek() {
+            let operation = match *op {
+                "*" => Operation::Mul,
+                "/" => Operation::Div,
+                "%" => Operation::Rem,
+                _ => break,
+            };
+            self.position += 1;
+            let right = self.factor()?;
+            left = self.builder.node(operation, &[left, right]);
+        }
+        Ok(left)
+    }
+
+    /// factor := "~" factor | "(" expression ")" | "load" "(" expression ")"
+    ///         | identifier | number
+    fn factor(&mut self) -> Result<NodeId, CompileError> {
+        match self.next()? {
+            Token::Symbol("~") => {
+                let inner = self.factor()?;
+                Ok(self.builder.node(Operation::Not, &[inner]))
+            }
+            Token::Symbol("(") => {
+                let inner = self.expression()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            Token::Ident(name) if name == "load" => {
+                self.expect_symbol("(")?;
+                let address = self.expression()?;
+                self.expect_symbol(")")?;
+                Ok(self.builder.node(Operation::Load, &[address]))
+            }
+            Token::Ident(name) => {
+                if let Some(&id) = self.variables.get(&name) {
+                    Ok(id)
+                } else {
+                    let id = self.builder.input(&name);
+                    self.variables.insert(name, id);
+                    Ok(id)
+                }
+            }
+            Token::Number(value) => {
+                if let Some(&id) = self.constants.get(&value) {
+                    Ok(id)
+                } else {
+                    let id = self.builder.constant(value.to_string());
+                    self.constants.insert(value, id);
+                    Ok(id)
+                }
+            }
+            other => Err(CompileError::UnexpectedToken(format!("{other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_expression_builds_the_expected_graph() {
+        let dfg = compile_block("simple", "x = (a + b) * c; out x;").unwrap();
+        // a, b, c inputs + add + mul
+        assert_eq!(dfg.len(), 5);
+        assert_eq!(dfg.external_inputs().len(), 3);
+        let muls = dfg.node_ids().filter(|&id| dfg.op(id) == Operation::Mul).count();
+        assert_eq!(muls, 1);
+        assert_eq!(dfg.external_outputs().len(), 1);
+    }
+
+    #[test]
+    fn precedence_of_mul_over_add() {
+        let dfg = compile_block("prec", "x = a + b * c;").unwrap();
+        // The multiply feeds the add, not the other way around.
+        let mul = dfg.node_ids().find(|&id| dfg.op(id) == Operation::Mul).unwrap();
+        let add = dfg.node_ids().find(|&id| dfg.op(id) == Operation::Add).unwrap();
+        assert!(dfg.succs(mul).contains(&add));
+    }
+
+    #[test]
+    fn variables_are_reused_not_duplicated() {
+        let dfg = compile_block("reuse", "t = a + b; x = t * t; y = t - a; out x, y;").unwrap();
+        assert_eq!(dfg.external_inputs().len(), 2);
+        // a, b, add, mul, sub
+        assert_eq!(dfg.len(), 5);
+        assert_eq!(dfg.external_outputs().len(), 2);
+    }
+
+    #[test]
+    fn loads_and_stores_are_memory_operations() {
+        let dfg = compile_block("mem", "v = load(base + 4); store(base, v + 1);").unwrap();
+        let loads = dfg.node_ids().filter(|&id| dfg.op(id) == Operation::Load).count();
+        let stores = dfg.node_ids().filter(|&id| dfg.op(id) == Operation::Store).count();
+        assert_eq!(loads, 1);
+        assert_eq!(stores, 1);
+        for id in dfg.node_ids() {
+            if dfg.op(id).is_memory() {
+                assert!(dfg.is_forbidden(id));
+            }
+        }
+    }
+
+    #[test]
+    fn constants_are_shared_and_are_roots() {
+        let dfg = compile_block("const", "x = a + 4; y = b + 4;").unwrap();
+        let consts = dfg.node_ids().filter(|&id| dfg.op(id) == Operation::Const).count();
+        assert_eq!(consts, 1, "the literal 4 is created once");
+    }
+
+    #[test]
+    fn unary_not_and_shifts_parse() {
+        let dfg = compile_block("bits", "x = ~a >> 2; y = a << 3 & b;").unwrap();
+        assert!(dfg.node_ids().any(|id| dfg.op(id) == Operation::Not));
+        assert!(dfg.node_ids().any(|id| dfg.op(id) == Operation::Shr));
+        assert!(dfg.node_ids().any(|id| dfg.op(id) == Operation::Shl));
+        assert!(dfg.node_ids().any(|id| dfg.op(id) == Operation::And));
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        assert!(matches!(
+            compile_block("bad", "x = a $ b;"),
+            Err(CompileError::UnexpectedCharacter('$'))
+        ));
+        assert!(matches!(
+            compile_block("bad", "x = ;"),
+            Err(CompileError::UnexpectedToken(_))
+        ));
+        assert!(matches!(
+            compile_block("bad", "x = a + b"),
+            Err(CompileError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            compile_block("bad", "out nothing;"),
+            Err(CompileError::UnknownVariable(_))
+        ));
+        assert!(matches!(compile_block("empty", ""), Err(CompileError::Graph(_))));
+        let msg = CompileError::UnexpectedCharacter('$').to_string();
+        assert!(msg.contains('$'));
+    }
+
+    #[test]
+    fn single_less_than_is_rejected() {
+        assert!(matches!(
+            compile_block("bad", "x = a < b;"),
+            Err(CompileError::UnexpectedCharacter('<'))
+        ));
+    }
+}

@@ -1,0 +1,30 @@
+//! Umbrella crate for the reproduction of Bonzini & Pozzi, *Polynomial-Time Subgraph
+//! Enumeration for Automated Instruction Set Extension* (DATE 2007).
+//!
+//! This crate re-exports the workspace members so that the examples under `examples/`
+//! and the integration tests under `tests/` can exercise the whole public API from a
+//! single dependency. Library users should normally depend on the individual crates:
+//!
+//! * [`ise_graph`] — data-flow graph substrate (§3 of the paper).
+//! * [`ise_dominators`] — single- and multiple-vertex dominators (§2, §5.2).
+//! * [`ise_enum`] — convex-cut enumeration, pruning, baseline and ISE selection (§4–5).
+//! * [`ise_workloads`] — synthetic MiBench-like and tree-shaped workloads (§6).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ise_repro::ise_enum::{Constraints, enumerate_cuts};
+//! use ise_repro::ise_workloads::tree::TreeDfgBuilder;
+//!
+//! let dfg = TreeDfgBuilder::new(3).build();
+//! let cuts = enumerate_cuts(&dfg, &Constraints::new(2, 1)?)?;
+//! assert!(!cuts.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ise_dominators;
+pub use ise_enum;
+pub use ise_graph;
+pub use ise_workloads;

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the three enumeration algorithms (incremental,
+//! basic/reference, pruned exhaustive baseline) and the brute-force oracle must agree
+//! on what the valid cuts of a basic block are, across workloads produced by every
+//! generator in the workspace.
+
+use std::collections::HashSet;
+
+use ise_enum::{
+    baseline_cuts, basic_cuts, exhaustive_cuts, incremental_cuts, Constraints, Cut, EnumContext,
+    PruningConfig,
+};
+use ise_graph::NodeId;
+use ise_workloads::expr::compile_block;
+use ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
+use ise_workloads::random_dag::{random_dag, RandomDagConfig};
+use ise_workloads::tree::{TreeDfgBuilder, TreeOrientation};
+
+type Key = (Vec<NodeId>, Vec<NodeId>);
+
+fn keys(cuts: &[Cut]) -> Vec<Key> {
+    let mut keys: Vec<Key> = cuts.iter().map(Cut::key).collect();
+    keys.sort();
+    keys
+}
+
+/// Small contexts drawn from every workload generator (kept below the exhaustive
+/// oracle's subset limit).
+fn small_contexts() -> Vec<(String, EnumContext)> {
+    let mut out = Vec::new();
+    out.push((
+        "expr".to_string(),
+        EnumContext::new(
+            compile_block(
+                "expr",
+                "t = a + b; u = t ^ c; v = load(p); w = u + v; x = w - t; out x;",
+            )
+            .expect("snippet compiles"),
+        ),
+    ));
+    out.push((
+        "tree-fanout".to_string(),
+        EnumContext::new(TreeDfgBuilder::new(3).build()),
+    ));
+    out.push((
+        "tree-fanin".to_string(),
+        EnumContext::new(
+            TreeDfgBuilder::new(3)
+                .with_orientation(TreeOrientation::FanIn)
+                .build(),
+        ),
+    ));
+    for seed in 0..4u64 {
+        let dfg = random_dag(
+            &RandomDagConfig::new(18).with_live_ins(4).with_memory_ratio(0.2),
+            seed,
+        );
+        out.push((format!("random-{seed}"), EnumContext::new(dfg)));
+    }
+    for seed in 0..3u64 {
+        let dfg = generate_block(&MiBenchLikeConfig::new(26), seed).expect("valid block");
+        out.push((format!("mibench-{seed}"), EnumContext::new(dfg)));
+    }
+    out
+}
+
+#[test]
+fn incremental_and_basic_match_the_oracle() {
+    for (name, ctx) in small_contexts() {
+        if ctx.candidate_outputs().len() > 22 {
+            continue; // keep the exhaustive oracle tractable
+        }
+        for (nin, nout) in [(2, 1), (4, 2), (3, 2)] {
+            let constraints = Constraints::new(nin, nout).unwrap();
+            let oracle = exhaustive_cuts(&ctx, &constraints, true);
+            let incremental = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+            let basic = basic_cuts(&ctx, &constraints);
+            assert_eq!(
+                keys(&incremental.cuts),
+                keys(&oracle.cuts),
+                "incremental vs oracle on {name}, Nin={nin}, Nout={nout}"
+            );
+            assert_eq!(
+                keys(&basic.cuts),
+                keys(&oracle.cuts),
+                "basic vs oracle on {name}, Nin={nin}, Nout={nout}"
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_matches_the_relaxed_oracle_and_covers_the_polynomial_results() {
+    for (name, ctx) in small_contexts() {
+        if ctx.candidate_outputs().len() > 20 {
+            continue;
+        }
+        let constraints = Constraints::new(4, 2).unwrap();
+        let baseline = baseline_cuts(&ctx, &constraints);
+        let relaxed_oracle = exhaustive_cuts(&ctx, &constraints, false);
+        assert_eq!(
+            keys(&baseline.cuts),
+            keys(&relaxed_oracle.cuts),
+            "baseline vs relaxed oracle on {name}"
+        );
+        let poly = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        let baseline_keys: HashSet<Key> = baseline.cuts.iter().map(Cut::key).collect();
+        for cut in &poly.cuts {
+            assert!(
+                baseline_keys.contains(&cut.key()),
+                "cut missing from baseline on {name}: {cut:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_never_changes_the_result_set() {
+    for (name, ctx) in small_contexts() {
+        let constraints = Constraints::new(3, 2).unwrap();
+        let reference = incremental_cuts(&ctx, &constraints, &PruningConfig::none());
+        for &technique in PruningConfig::technique_names() {
+            let pruned = incremental_cuts(&ctx, &constraints, &PruningConfig::all_except(technique));
+            assert_eq!(
+                keys(&pruned.cuts),
+                keys(&reference.cuts),
+                "pruning configuration without {technique} changed the cuts on {name}"
+            );
+        }
+        let all = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        assert_eq!(keys(&all.cuts), keys(&reference.cuts), "all prunings on {name}");
+        assert!(all.stats.search_nodes <= reference.stats.search_nodes);
+    }
+}
+
+#[test]
+fn every_enumerated_cut_satisfies_the_definitions() {
+    for (name, ctx) in small_contexts() {
+        let constraints = Constraints::new(4, 2).unwrap();
+        let result = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        for cut in &result.cuts {
+            assert!(cut.is_convex(&ctx), "{name}: non-convex cut {cut:?}");
+            assert!(cut.inputs().len() <= 4, "{name}: too many inputs");
+            assert!(cut.outputs().len() <= 2, "{name}: too many outputs");
+            assert!(
+                cut.io_condition_violation(&ctx).is_none(),
+                "{name}: technical condition violated"
+            );
+            assert!(
+                cut.body().iter().all(|v| !ctx.rooted().is_forbidden(v)),
+                "{name}: forbidden vertex in cut"
+            );
+        }
+    }
+}
+
+#[test]
+fn connected_only_results_are_a_subset() {
+    for (name, ctx) in small_contexts() {
+        let free = Constraints::new(4, 2).unwrap();
+        let connected = free.clone().connected_only(true);
+        let all = incremental_cuts(&ctx, &free, &PruningConfig::all());
+        let only_connected = incremental_cuts(&ctx, &connected, &PruningConfig::all());
+        let all_keys: HashSet<Key> = all.cuts.iter().map(Cut::key).collect();
+        assert!(
+            only_connected.cuts.iter().all(|c| all_keys.contains(&c.key())),
+            "connected-only produced a cut the unconstrained run did not, on {name}"
+        );
+        assert!(only_connected.cuts.iter().all(|c| c.is_connected(&ctx)));
+    }
+}

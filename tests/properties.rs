@@ -1,0 +1,178 @@
+//! Property-based tests (proptest) for the core invariants of the reproduction:
+//! theorems 1–3 of the paper on randomly generated DAGs, agreement between the
+//! polynomial enumeration and the brute-force oracle, and structural invariants of the
+//! graph substrate.
+
+use proptest::prelude::*;
+
+use ise_dominators::multi::is_generalized_dominator;
+use ise_dominators::{dominators, iterative_dominators, Forward, Reverse};
+use ise_enum::{
+    cone, exhaustive_cuts, incremental_cuts, Constraints, Cut, EnumContext, PruningConfig,
+};
+use ise_graph::{DenseNodeSet, Dfg, NodeId, Operation, Reachability, RootedDfg};
+
+/// Strategy: a small random DAG described as, for each non-root node, a list of
+/// predecessor indices among the earlier nodes, plus an operation selector.
+fn small_dag_strategy() -> impl Strategy<Value = Dfg> {
+    let node_count = 4usize..14;
+    node_count
+        .prop_flat_map(|n| {
+            let preds = proptest::collection::vec(
+                (proptest::collection::vec(0usize..n, 1..3), 0u8..10),
+                n,
+            );
+            (Just(n), preds)
+        })
+        .prop_map(|(n, specs)| {
+            let mut ops = Vec::with_capacity(n + 2);
+            let mut edges = Vec::new();
+            // Two guaranteed live-in roots.
+            ops.push(Operation::Input);
+            ops.push(Operation::Input);
+            for (i, (preds, op_roll)) in specs.into_iter().enumerate() {
+                let id = i + 2;
+                let op = match op_roll {
+                    0 => Operation::Load,
+                    1 => Operation::Mul,
+                    2 => Operation::Shl,
+                    3 => Operation::Sub,
+                    4 => Operation::Xor,
+                    5 => Operation::Cmp,
+                    _ => Operation::Add,
+                };
+                ops.push(op);
+                let mut used = Vec::new();
+                for p in preds {
+                    let p = p % id; // only earlier nodes, keeps the graph acyclic
+                    if !used.contains(&p) {
+                        used.push(p);
+                        edges.push((NodeId::from_index(p), NodeId::from_index(id)));
+                    }
+                }
+            }
+            Dfg::from_edges("proptest", ops, edges, [], []).expect("construction is acyclic")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The polynomial enumeration finds exactly the cuts the brute-force oracle finds.
+    #[test]
+    fn incremental_matches_oracle(dfg in small_dag_strategy()) {
+        let ctx = EnumContext::new(dfg);
+        let constraints = Constraints::new(3, 2).unwrap();
+        let oracle = exhaustive_cuts(&ctx, &constraints, true);
+        let poly = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        let mut a: Vec<_> = oracle.cuts.iter().map(Cut::key).collect();
+        let mut b: Vec<_> = poly.cuts.iter().map(Cut::key).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Theorem 1: the inputs of every valid single-output cut form a generalized
+    /// dominator of its output; Theorem 2/3: the cut is reconstructed exactly from its
+    /// inputs and outputs by the backward closure.
+    #[test]
+    fn theorems_hold_for_enumerated_cuts(dfg in small_dag_strategy()) {
+        let ctx = EnumContext::new(dfg);
+        let constraints = Constraints::new(3, 2).unwrap();
+        let result = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        for cut in &result.cuts {
+            // Reconstruction (Theorems 2/3).
+            let inputs = DenseNodeSet::from_nodes(
+                ctx.rooted().num_nodes(),
+                cut.inputs().iter().copied(),
+            );
+            let rebuilt = cone(ctx.rooted(), &inputs, cut.outputs(), false)
+                .expect("no abort requested");
+            prop_assert_eq!(&rebuilt, cut.body());
+            // Theorem 1 for single-output cuts.
+            if cut.outputs().len() == 1 {
+                prop_assert!(is_generalized_dominator(
+                    &Forward(ctx.rooted()),
+                    cut.inputs(),
+                    cut.outputs()[0],
+                ));
+            }
+        }
+    }
+
+    /// Every cut the enumeration reports is convex and within the port budget.
+    #[test]
+    fn enumerated_cuts_are_valid(dfg in small_dag_strategy()) {
+        let ctx = EnumContext::new(dfg);
+        let constraints = Constraints::new(4, 2).unwrap();
+        let result = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        for cut in &result.cuts {
+            prop_assert!(cut.validate(&ctx, &constraints, true).is_ok());
+        }
+    }
+
+    /// Lengauer–Tarjan and the iterative algorithm agree on dominators and
+    /// postdominators.
+    #[test]
+    fn dominator_engines_agree(dfg in small_dag_strategy()) {
+        let rooted = RootedDfg::new(dfg);
+        let lt = dominators(&Forward(&rooted));
+        let it = iterative_dominators(&Forward(&rooted));
+        for v in rooted.node_ids() {
+            prop_assert_eq!(lt.idom(v), it.idom(v));
+        }
+        let ltp = dominators(&Reverse(&rooted));
+        let itp = iterative_dominators(&Reverse(&rooted));
+        for v in rooted.node_ids() {
+            prop_assert_eq!(ltp.idom(v), itp.idom(v));
+        }
+    }
+
+    /// The reachability matrix agrees with a straightforward DFS, and dominance implies
+    /// reachability.
+    #[test]
+    fn reachability_is_consistent(dfg in small_dag_strategy()) {
+        let rooted = RootedDfg::new(dfg);
+        let reach = Reachability::compute(&rooted);
+        let dom = dominators(&Forward(&rooted));
+        for v in rooted.node_ids() {
+            // DFS from v.
+            let mut visited = rooted.node_set();
+            let mut stack = vec![v];
+            while let Some(x) = stack.pop() {
+                for &s in rooted.succs(x) {
+                    if visited.insert(s) {
+                        stack.push(s);
+                    }
+                }
+            }
+            for w in rooted.node_ids() {
+                prop_assert_eq!(reach.reaches(v, w), visited.contains(w), "{} -> {}", v, w);
+            }
+            // Strict dominance implies reachability.
+            if let Some(idom) = dom.idom(v) {
+                prop_assert!(reach.reaches(idom, v));
+            }
+        }
+    }
+
+    /// The dense bit set behaves like a reference set implementation.
+    #[test]
+    fn bitset_behaves_like_a_set(ops in proptest::collection::vec((0usize..64, any::<bool>()), 0..100)) {
+        use std::collections::BTreeSet;
+        let mut dense = DenseNodeSet::new(64);
+        let mut reference: BTreeSet<usize> = BTreeSet::new();
+        for (index, insert) in ops {
+            let node = NodeId::from_index(index);
+            if insert {
+                prop_assert_eq!(dense.insert(node), reference.insert(index));
+            } else {
+                prop_assert_eq!(dense.remove(node), reference.remove(&index));
+            }
+        }
+        prop_assert_eq!(dense.len(), reference.len());
+        let dense_items: Vec<usize> = dense.iter().map(|n| n.index()).collect();
+        let reference_items: Vec<usize> = reference.into_iter().collect();
+        prop_assert_eq!(dense_items, reference_items);
+    }
+}
