@@ -15,7 +15,9 @@ use ise_workloads::random_dag::{random_dag, RandomDagConfig};
 
 fn bench_single_vertex(c: &mut Criterion) {
     let mut group = c.benchmark_group("single_vertex_dominators");
-    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4));
     for size in [100usize, 400, 1000] {
         let rooted = RootedDfg::new(random_dag(&RandomDagConfig::new(size), size as u64));
         group.bench_with_input(
@@ -23,18 +25,18 @@ fn bench_single_vertex(c: &mut Criterion) {
             &rooted,
             |b, rooted| b.iter(|| lengauer_tarjan(&Forward(rooted))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("iterative", size),
-            &rooted,
-            |b, rooted| b.iter(|| iterative_dominators(&Forward(rooted))),
-        );
+        group.bench_with_input(BenchmarkId::new("iterative", size), &rooted, |b, rooted| {
+            b.iter(|| iterative_dominators(&Forward(rooted)))
+        });
     }
     group.finish();
 }
 
 fn bench_generalized(c: &mut Criterion) {
     let mut group = c.benchmark_group("generalized_dominators");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for size in [40usize, 80] {
         let rooted = RootedDfg::new(random_dag(&RandomDagConfig::new(size), 3));
         let target = ise_graph::NodeId::from_index(rooted.original_len() - 1);

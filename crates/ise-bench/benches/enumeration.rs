@@ -28,7 +28,9 @@ fn contexts() -> Vec<(String, EnumContext)> {
 fn bench_enumeration(c: &mut Criterion) {
     let constraints = Constraints::new(4, 2).expect("non-zero constraints");
     let mut group = c.benchmark_group("enumeration");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for (name, ctx) in contexts() {
         group.bench_with_input(BenchmarkId::new("polynomial", &name), &ctx, |b, ctx| {
             b.iter(|| incremental_cuts(ctx, &constraints, &PruningConfig::all()))

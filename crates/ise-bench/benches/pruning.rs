@@ -20,11 +20,15 @@ fn bench_pruning(c: &mut Criterion) {
     configurations.push(("none".to_string(), PruningConfig::none()));
 
     let mut group = c.benchmark_group("pruning");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for (name, pruning) in configurations {
-        group.bench_with_input(BenchmarkId::from_parameter(&name), &pruning, |b, pruning| {
-            b.iter(|| incremental_cuts(&ctx, &constraints, pruning))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&name),
+            &pruning,
+            |b, pruning| b.iter(|| incremental_cuts(&ctx, &constraints, pruning)),
+        );
     }
     group.finish();
 }

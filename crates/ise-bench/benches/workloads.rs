@@ -11,16 +11,24 @@ use ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
 
 fn bench_workloads(c: &mut Criterion) {
     let mut group = c.benchmark_group("precompute");
-    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4));
     for size in [100usize, 400, 1000] {
-        group.bench_with_input(BenchmarkId::new("generate_block", size), &size, |b, &size| {
-            b.iter(|| generate_block(&MiBenchLikeConfig::new(size), 1).expect("valid block"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generate_block", size),
+            &size,
+            |b, &size| {
+                b.iter(|| generate_block(&MiBenchLikeConfig::new(size), 1).expect("valid block"))
+            },
+        );
         let dfg = generate_block(&MiBenchLikeConfig::new(size), 1).expect("valid block");
         let rooted = RootedDfg::new(dfg.clone());
-        group.bench_with_input(BenchmarkId::new("reachability", size), &rooted, |b, rooted| {
-            b.iter(|| Reachability::compute(rooted))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reachability", size),
+            &rooted,
+            |b, rooted| b.iter(|| Reachability::compute(rooted)),
+        );
         group.bench_with_input(BenchmarkId::new("enum_context", size), &dfg, |b, dfg| {
             b.iter(|| EnumContext::new(dfg.clone()))
         });

@@ -31,8 +31,11 @@ fn main() {
 
     println!("block,nodes,configuration,seconds,cuts,search_nodes,dominator_runs,pruned_total");
     for block in 0..blocks {
-        let dfg = generate_block(&MiBenchLikeConfig::new(size), seed.wrapping_add(block as u64))
-            .expect("generator output is always valid");
+        let dfg = generate_block(
+            &MiBenchLikeConfig::new(size),
+            seed.wrapping_add(block as u64),
+        )
+        .expect("generator output is always valid");
         let ctx = EnumContext::new(dfg);
         let mut reference_cuts: Option<usize> = None;
         for (name, pruning) in &configurations {

@@ -35,9 +35,8 @@ fn main() {
     let mut total = 0usize;
     for entry in &workload {
         let (ctx, _) = ise_bench::build_context(&entry.dfg);
-        let (poly, poly_time) = timed(|| {
-            incremental_cuts_bounded(&ctx, &constraints, &PruningConfig::all(), budget)
-        });
+        let (poly, poly_time) =
+            timed(|| incremental_cuts_bounded(&ctx, &constraints, &PruningConfig::all(), budget));
         let (base, base_time) = timed(|| baseline_cuts_bounded(&ctx, &constraints, budget));
         println!(
             "{},{},{},{:.6},{:.6},{},{},{},{}",

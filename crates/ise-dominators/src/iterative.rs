@@ -46,8 +46,15 @@ pub fn iterative_dominators_reduced<G: FlowGraph>(
 ) -> DominatorTree {
     let n = graph.num_nodes();
     let root = graph.root();
-    assert_eq!(removed.capacity(), n, "removed-vertex set sized for a different graph");
-    assert!(!removed.contains(root), "the root of the flow graph cannot be removed");
+    assert_eq!(
+        removed.capacity(),
+        n,
+        "removed-vertex set sized for a different graph"
+    );
+    assert!(
+        !removed.contains(root),
+        "the root of the flow graph cannot be removed"
+    );
 
     // Postorder numbering of the reachable, non-removed subgraph.
     let mut postorder_of = vec![usize::MAX; n];
@@ -170,7 +177,12 @@ mod tests {
     fn diamond_postdominators() {
         let g = diamond();
         let tree = iterative_dominators(&Reverse(&g));
-        let (a, l, m, t) = (NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(4));
+        let (a, l, m, t) = (
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(3),
+            NodeId::new(4),
+        );
         assert_eq!(tree.idom(a), Some(m));
         assert_eq!(tree.idom(l), Some(m));
         assert_eq!(tree.idom(m), Some(t));
@@ -180,11 +192,20 @@ mod tests {
     #[test]
     fn reduced_variant_reroutes_dominance() {
         let g = diamond();
-        let (a, l, r, m) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        let (a, l, r, m) = (
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+        );
         let mut removed = g.node_set();
         removed.insert(l);
         let tree = iterative_dominators_reduced(&Forward(&g), &removed);
-        assert_eq!(tree.idom(m), Some(r), "with the left arm removed, m is reached only via r");
+        assert_eq!(
+            tree.idom(m),
+            Some(r),
+            "with the left arm removed, m is reached only via r"
+        );
         assert!(!tree.is_reachable(l));
         assert!(tree.dominates(a, m));
     }

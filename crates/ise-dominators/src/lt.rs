@@ -51,10 +51,7 @@ pub fn lengauer_tarjan<G: FlowGraph>(graph: &G) -> DominatorTree {
 ///
 /// Panics if the root itself is in `removed`, or if `removed` was sized for a different
 /// graph.
-pub fn lengauer_tarjan_reduced<G: FlowGraph>(
-    graph: &G,
-    removed: &DenseNodeSet,
-) -> DominatorTree {
+pub fn lengauer_tarjan_reduced<G: FlowGraph>(graph: &G, removed: &DenseNodeSet) -> DominatorTree {
     let n = graph.num_nodes();
     let root = graph.root();
     assert_eq!(
@@ -62,7 +59,10 @@ pub fn lengauer_tarjan_reduced<G: FlowGraph>(
         n,
         "removed-vertex set sized for a different graph"
     );
-    assert!(!removed.contains(root), "the root of the flow graph cannot be removed");
+    assert!(
+        !removed.contains(root),
+        "the root of the flow graph cannot be removed"
+    );
 
     // Per-node state, indexed by node index.
     let mut dfnum = vec![UNDEF; n];
@@ -312,7 +312,11 @@ mod tests {
             let mut ops = vec![Operation::Input];
             let mut edges = Vec::new();
             for i in 1..n {
-                ops.push(if next() % 7 == 0 { Operation::Load } else { Operation::Add });
+                ops.push(if next() % 7 == 0 {
+                    Operation::Load
+                } else {
+                    Operation::Add
+                });
                 // Every node gets 1..=3 predecessors among earlier nodes.
                 let npreds = 1 + (next() % 3) as usize;
                 for _ in 0..npreds {

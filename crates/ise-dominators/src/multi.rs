@@ -52,11 +52,7 @@ use crate::lt::lengauer_tarjan_reduced;
 /// # Ok(())
 /// # }
 /// ```
-pub fn is_generalized_dominator<G: FlowGraph>(
-    graph: &G,
-    set: &[NodeId],
-    target: NodeId,
-) -> bool {
+pub fn is_generalized_dominator<G: FlowGraph>(graph: &G, set: &[NodeId], target: NodeId) -> bool {
     if set.is_empty() || set.contains(&target) {
         return false;
     }
@@ -151,9 +147,8 @@ pub fn enumerate_generalized_dominators<G: FlowGraph>(
     max_size: usize,
     excluded: &DenseNodeSet,
 ) -> Vec<Vec<NodeId>> {
-    let mut result = Vec::new();
     if max_size == 0 {
-        return result;
+        return Vec::new();
     }
     let n = graph.num_nodes();
     let root = graph.root();
@@ -166,83 +161,80 @@ pub fn enumerate_generalized_dominators<G: FlowGraph>(
         .filter(|&a| a != target && a != root && !excluded.contains(a))
         .collect();
 
-    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
-    let mut seed: Vec<NodeId> = Vec::new();
-    let mut seed_set = DenseNodeSet::new(n);
-
-    // Recursive exploration of seed subsets in increasing candidate order.
-    fn recurse<G: FlowGraph>(
-        graph: &G,
-        target: NodeId,
-        max_size: usize,
-        excluded: &DenseNodeSet,
-        candidates: &[NodeId],
-        start: usize,
-        seed: &mut Vec<NodeId>,
-        seed_set: &mut DenseNodeSet,
-        seen: &mut HashSet<Vec<NodeId>>,
-        result: &mut Vec<Vec<NodeId>>,
-    ) {
-        let tree = lengauer_tarjan_reduced(graph, seed_set);
-        if tree.is_reachable(target) {
-            for d in tree.strict_dominators(target) {
-                if excluded.contains(d) || seed_set.contains(d) {
-                    continue;
-                }
-                let mut candidate = seed.clone();
-                candidate.push(d);
-                candidate.sort_unstable();
-                if !seen.contains(&candidate)
-                    && is_generalized_dominator(graph, &candidate, target)
-                {
-                    seen.insert(candidate.clone());
-                    result.push(candidate);
-                }
-            }
-        } else {
-            // The seed alone blocks every path: it may itself be a dominator, and no
-            // superset can satisfy condition 2 for the added vertex, so stop here.
-            if !seed.is_empty() {
-                let mut candidate = seed.clone();
-                candidate.sort_unstable();
-                if !seen.contains(&candidate)
-                    && is_generalized_dominator(graph, &candidate, target)
-                {
-                    seen.insert(candidate.clone());
-                    result.push(candidate);
-                }
-            }
-            return;
-        }
-        if seed.len() + 1 < max_size {
-            for idx in start..candidates.len() {
-                let a = candidates[idx];
-                seed.push(a);
-                seed_set.insert(a);
-                recurse(
-                    graph, target, max_size, excluded, candidates, idx + 1, seed, seed_set,
-                    seen, result,
-                );
-                seed.pop();
-                seed_set.remove(a);
-            }
-        }
-    }
-
-    recurse(
+    let mut search = GenDomSearch {
         graph,
         target,
         max_size,
         excluded,
-        &candidates,
-        0,
-        &mut seed,
-        &mut seed_set,
-        &mut seen,
-        &mut result,
-    );
+        candidates: &candidates,
+        seed: Vec::new(),
+        seed_set: DenseNodeSet::new(n),
+        seen: HashSet::new(),
+        result: Vec::new(),
+    };
+    search.recurse(0);
+    let mut result = search.result;
     result.sort();
     result
+}
+
+/// Recursive exploration of seed subsets in increasing candidate order, shared
+/// between the recursion levels of [`enumerate_generalized_dominators`].
+struct GenDomSearch<'a, G: FlowGraph> {
+    graph: &'a G,
+    target: NodeId,
+    max_size: usize,
+    excluded: &'a DenseNodeSet,
+    candidates: &'a [NodeId],
+    seed: Vec<NodeId>,
+    seed_set: DenseNodeSet,
+    seen: HashSet<Vec<NodeId>>,
+    result: Vec<Vec<NodeId>>,
+}
+
+impl<G: FlowGraph> GenDomSearch<'_, G> {
+    /// Records `candidate` (sorted) if it is a not-yet-seen generalized dominator.
+    fn record_if_dominator(&mut self, mut candidate: Vec<NodeId>) {
+        candidate.sort_unstable();
+        if !self.seen.contains(&candidate)
+            && is_generalized_dominator(self.graph, &candidate, self.target)
+        {
+            self.seen.insert(candidate.clone());
+            self.result.push(candidate);
+        }
+    }
+
+    fn recurse(&mut self, start: usize) {
+        let tree = lengauer_tarjan_reduced(self.graph, &self.seed_set);
+        if tree.is_reachable(self.target) {
+            for d in tree.strict_dominators(self.target) {
+                if self.excluded.contains(d) || self.seed_set.contains(d) {
+                    continue;
+                }
+                let mut candidate = self.seed.clone();
+                candidate.push(d);
+                self.record_if_dominator(candidate);
+            }
+        } else {
+            // The seed alone blocks every path: it may itself be a dominator, and no
+            // superset can satisfy condition 2 for the added vertex, so stop here.
+            if !self.seed.is_empty() {
+                let candidate = self.seed.clone();
+                self.record_if_dominator(candidate);
+            }
+            return;
+        }
+        if self.seed.len() + 1 < self.max_size {
+            for idx in start..self.candidates.len() {
+                let a = self.candidates[idx];
+                self.seed.push(a);
+                self.seed_set.insert(a);
+                self.recurse(idx + 1);
+                self.seed.pop();
+                self.seed_set.remove(a);
+            }
+        }
+    }
 }
 
 /// Vertices from which `target` is reachable (including `target` itself).
@@ -419,7 +411,10 @@ mod tests {
         let g = Forward(&r);
         let excluded = excluded_for(&r);
         let singles = enumerate_generalized_dominators(&g, y, 1, &excluded);
-        assert!(singles.is_empty(), "Y has no single-vertex dominator besides the source");
+        assert!(
+            singles.is_empty(),
+            "Y has no single-vertex dominator besides the source"
+        );
         let pairs = enumerate_generalized_dominators(&g, y, 2, &excluded);
         assert!(pairs.iter().all(|d| d.len() <= 2));
         assert!(pairs.contains(&vec![NodeId::new(2), NodeId::new(3)])); // {C, N}
@@ -492,7 +487,15 @@ mod tests {
                 }
             }
         }
-        go(graph, target, max_size, &candidates, 0, &mut chosen, &mut result);
+        go(
+            graph,
+            target,
+            max_size,
+            &candidates,
+            0,
+            &mut chosen,
+            &mut result,
+        );
         result.sort();
         result
     }

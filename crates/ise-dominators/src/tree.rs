@@ -37,16 +37,16 @@ impl DominatorTree {
         let n = idom.len();
         let mut reachable = DenseNodeSet::new(n);
         reachable.insert(root);
-        for i in 0..n {
-            if idom[i].is_some() {
+        for (i, parent) in idom.iter().enumerate() {
+            if parent.is_some() {
                 reachable.insert(NodeId::from_index(i));
             }
         }
 
         // Build children lists and a preorder numbering of the dominator tree.
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for i in 0..n {
-            if let Some(parent) = idom[i] {
+        for (i, parent) in idom.iter().enumerate() {
+            if let Some(parent) = parent {
                 children[parent.index()].push(NodeId::from_index(i));
             }
         }

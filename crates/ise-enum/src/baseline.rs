@@ -153,9 +153,10 @@ impl BaselineSearch<'_> {
         if !rooted.is_forbidden(v) {
             // Convexity: a path from a selected vertex through excluded vertices must
             // not re-enter the cut at v.
-            let breaks_convexity = rooted.preds(v).iter().any(|p| {
-                self.excluded.contains(*p) && self.reached_from_selected[p.index()]
-            });
+            let breaks_convexity = rooted
+                .preds(v)
+                .iter()
+                .any(|p| self.excluded.contains(*p) && self.reached_from_selected[p.index()]);
             if breaks_convexity {
                 self.stats.pruned_build_s += 1;
                 return;
@@ -270,7 +271,10 @@ mod tests {
         let st = b.node(Operation::Store, &[x]);
         let ctx = EnumContext::new(b.build().unwrap());
         let result = baseline_cuts(&ctx, &Constraints::new(4, 4).unwrap());
-        assert!(result.cuts.iter().all(|c| !c.contains(ld) && !c.contains(st)));
+        assert!(result
+            .cuts
+            .iter()
+            .all(|c| !c.contains(ld) && !c.contains(st)));
         assert_eq!(result.cuts.len(), 1);
     }
 

@@ -226,8 +226,14 @@ mod tests {
 
     #[test]
     fn zero_ports_are_rejected() {
-        assert_eq!(Constraints::new(0, 2).unwrap_err(), ConstraintError::ZeroInputs);
-        assert_eq!(Constraints::new(3, 0).unwrap_err(), ConstraintError::ZeroOutputs);
+        assert_eq!(
+            Constraints::new(0, 2).unwrap_err(),
+            ConstraintError::ZeroInputs
+        );
+        assert_eq!(
+            Constraints::new(3, 0).unwrap_err(),
+            ConstraintError::ZeroOutputs
+        );
         assert!(ConstraintError::ZeroInputs.to_string().contains("input"));
     }
 

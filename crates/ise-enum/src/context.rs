@@ -210,7 +210,10 @@ mod tests {
         assert!(ctx.set_dominates(&just_n, x));
         let empty = ctx.rooted().node_set();
         assert!(!ctx.set_dominates(&empty, x));
-        assert!(ctx.set_dominates(&just_n, n), "a set dominates its own members");
+        assert!(
+            ctx.set_dominates(&just_n, n),
+            "a set dominates its own members"
+        );
     }
 
     #[test]

@@ -188,9 +188,10 @@ impl Cut {
         }
         for (i, &o1) in self.outputs.iter().enumerate() {
             for &o2 in &self.outputs[i + 1..] {
-                let shared = self.inputs.iter().any(|&inp| {
-                    ctx.reach().reaches(inp, o1) && ctx.reach().reaches(inp, o2)
-                });
+                let shared = self
+                    .inputs
+                    .iter()
+                    .any(|&inp| ctx.reach().reaches(inp, o1) && ctx.reach().reaches(inp, o2));
                 if !shared {
                     return false;
                 }
@@ -349,7 +350,11 @@ mod tests {
         b.mark_output(n); // n is live out of the block
         let ctx = EnumContext::new(b.build().unwrap());
         let cut = cut_of(&ctx, &[n, m]);
-        assert_eq!(cut.outputs(), &[n, m], "live-out n must occupy a write port");
+        assert_eq!(
+            cut.outputs(),
+            &[n, m],
+            "live-out n must occupy a write port"
+        );
     }
 
     #[test]
@@ -413,7 +418,9 @@ mod tests {
     fn validate_applies_every_rule() {
         let (ctx, [_, _, n, x, y, z, st]) = sample();
         let four = Constraints::new(4, 2).unwrap();
-        assert!(cut_of(&ctx, &[n, x, y, z]).validate(&ctx, &four, true).is_ok());
+        assert!(cut_of(&ctx, &[n, x, y, z])
+            .validate(&ctx, &four, true)
+            .is_ok());
 
         let narrow = Constraints::new(1, 2).unwrap();
         assert_eq!(

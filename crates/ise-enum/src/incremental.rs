@@ -259,7 +259,12 @@ impl IncrementalSearch<'_> {
                 }
                 self.inputs.push(i);
                 self.input_set.insert(i);
-                self.pick_inputs(output, remaining_inputs - 1, remaining_outputs, i.index() + 1);
+                self.pick_inputs(
+                    output,
+                    remaining_inputs - 1,
+                    remaining_outputs,
+                    i.index() + 1,
+                );
                 self.inputs.pop();
                 self.input_set.remove(i);
             }
@@ -419,7 +424,11 @@ mod tests {
         let constraints = Constraints::new(3, 2).unwrap();
         let with = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
         let without = incremental_cuts(&ctx, &constraints, &PruningConfig::none());
-        assert_eq!(keys(&with), keys(&without), "pruning must not change the result");
+        assert_eq!(
+            keys(&with),
+            keys(&without),
+            "pruning must not change the result"
+        );
         assert!(with.stats.search_nodes <= without.stats.search_nodes);
         assert!(with.stats.dominator_runs > 0);
     }

@@ -215,6 +215,9 @@ mod tests {
         let (ctx, [_, _, _, mul, sum]) = mac_ctx();
         let cut = cut_of(&ctx, &[mul, sum]);
         let merit = estimate_merit(&ctx, &cut, &LatencyModel::default(), 0, 0);
-        assert!(merit.hardware_cycles >= 4, "every operand transferred separately");
+        assert!(
+            merit.hardware_cycles >= 4,
+            "every operand transferred separately"
+        );
     }
 }

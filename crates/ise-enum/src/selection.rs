@@ -28,7 +28,9 @@ pub struct Selection {
 impl Selection {
     /// Estimated speedup of the basic block with the chosen custom instructions.
     pub fn block_speedup(&self) -> f64 {
-        let after = self.block_software_cycles.saturating_sub(self.total_saved_cycles);
+        let after = self
+            .block_software_cycles
+            .saturating_sub(self.total_saved_cycles);
         if after == 0 {
             return f64::from(self.block_software_cycles.max(1));
         }

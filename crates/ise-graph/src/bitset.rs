@@ -92,7 +92,11 @@ impl DenseNodeSet {
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.capacity, "node {node} out of set capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node {node} out of set capacity {}",
+            self.capacity
+        );
         self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
     }
 
@@ -104,7 +108,11 @@ impl DenseNodeSet {
     #[inline]
     pub fn insert(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.capacity, "node {node} out of set capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node {node} out of set capacity {}",
+            self.capacity
+        );
         let word = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         let fresh = *word & mask == 0;
@@ -120,7 +128,11 @@ impl DenseNodeSet {
     #[inline]
     pub fn remove(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.capacity, "node {node} out of set capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node {node} out of set capacity {}",
+            self.capacity
+        );
         let word = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         let present = *word & mask != 0;
@@ -151,7 +163,10 @@ impl DenseNodeSet {
     ///
     /// Panics if the capacities differ.
     pub fn intersect_with(&mut self, other: &DenseNodeSet) {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersection");
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in intersection"
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
@@ -163,7 +178,10 @@ impl DenseNodeSet {
     ///
     /// Panics if the capacities differ.
     pub fn difference_with(&mut self, other: &DenseNodeSet) {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in difference");
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in difference"
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= !b;
         }
@@ -175,7 +193,10 @@ impl DenseNodeSet {
     ///
     /// Panics if the capacities differ.
     pub fn is_disjoint(&self, other: &DenseNodeSet) -> bool {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in is_disjoint");
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in is_disjoint"
+        );
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
@@ -185,8 +206,14 @@ impl DenseNodeSet {
     ///
     /// Panics if the capacities differ.
     pub fn is_subset(&self, other: &DenseNodeSet) -> bool {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in is_subset");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in is_subset"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the members in increasing index order.

@@ -119,7 +119,13 @@ impl DfgBuilder {
     /// Returns [`GraphError`] if the builder is empty or the recorded marks are
     /// inconsistent (see [`Dfg::from_edges`] for the full list of conditions).
     pub fn build(self) -> Result<Dfg, GraphError> {
-        Dfg::from_parts(self.name, self.nodes, self.edges, self.outputs, self.forbidden)
+        Dfg::from_parts(
+            self.name,
+            self.nodes,
+            self.edges,
+            self.outputs,
+            self.forbidden,
+        )
     }
 
     fn push(&mut self, node: Node) -> NodeId {
@@ -149,7 +155,11 @@ mod tests {
         assert_eq!(g.node(s).name(), Some("a<<4"));
         assert_eq!(g.op(l), Operation::Load);
         assert!(g.is_forbidden(l));
-        assert_eq!(g.external_inputs(), &[a, c], "constants are roots and therefore Iext");
+        assert_eq!(
+            g.external_inputs(),
+            &[a, c],
+            "constants are roots and therefore Iext"
+        );
         assert_eq!(g.external_outputs(), &[r]);
         assert_eq!(g.preds(r), &[l, a]);
     }

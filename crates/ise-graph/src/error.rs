@@ -43,7 +43,10 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::Empty => write!(f, "data-flow graph has no nodes"),
             GraphError::UnknownNode { node, len } => {
-                write!(f, "edge refers to unknown node {node} (graph has {len} nodes)")
+                write!(
+                    f,
+                    "edge refers to unknown node {node} (graph has {len} nodes)"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "node {node} has a self loop"),
             GraphError::Cycle { node } => {
@@ -64,11 +67,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = GraphError::UnknownNode { node: NodeId::new(9), len: 3 };
+        let e = GraphError::UnknownNode {
+            node: NodeId::new(9),
+            len: 3,
+        };
         let msg = e.to_string();
         assert!(msg.contains("n9"));
         assert!(msg.contains('3'));
-        assert_eq!(GraphError::Empty.to_string(), "data-flow graph has no nodes");
+        assert_eq!(
+            GraphError::Empty.to_string(),
+            "data-flow graph has no nodes"
+        );
     }
 
     #[test]

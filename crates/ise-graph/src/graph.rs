@@ -125,8 +125,8 @@ impl Dfg {
             output_set.insert(id);
         }
         // Oext is a superset of the vertices without successors (§3).
-        for i in 0..n {
-            if succs[i].is_empty() {
+        for (i, node_succs) in succs.iter().enumerate() {
+            if node_succs.is_empty() {
                 output_set.insert(NodeId::from_index(i));
             }
         }
@@ -250,9 +250,10 @@ impl Dfg {
 
     /// Iterates over every edge as a `(from, to)` pair.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.succs.iter().enumerate().flat_map(|(i, outs)| {
-            outs.iter().map(move |&to| (NodeId::from_index(i), to))
-        })
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, outs)| outs.iter().map(move |&to| (NodeId::from_index(i), to)))
     }
 
     /// Creates an empty set sized for this graph's nodes.
@@ -348,11 +349,17 @@ mod tests {
             [],
         )
         .unwrap();
-        assert!(g.is_forbidden(n(0)), "external inputs are implicitly forbidden");
+        assert!(
+            g.is_forbidden(n(0)),
+            "external inputs are implicitly forbidden"
+        );
         assert!(g.is_forbidden(n(1)), "loads are forbidden by default");
         assert!(!g.is_forbidden(n(2)));
         assert!(g.forbidden().contains(n(1)));
-        assert!(!g.forbidden().contains(n(0)), "Iext tracked separately from F");
+        assert!(
+            !g.forbidden().contains(n(0)),
+            "Iext tracked separately from F"
+        );
     }
 
     #[test]
@@ -388,27 +395,15 @@ mod tests {
 
     #[test]
     fn unknown_edge_endpoint_is_rejected() {
-        let err = Dfg::from_edges(
-            "bad",
-            vec![Operation::Add],
-            vec![(n(0), n(3))],
-            [],
-            [],
-        )
-        .unwrap_err();
+        let err =
+            Dfg::from_edges("bad", vec![Operation::Add], vec![(n(0), n(3))], [], []).unwrap_err();
         assert_eq!(err, GraphError::UnknownNode { node: n(3), len: 1 });
     }
 
     #[test]
     fn self_loop_is_rejected() {
-        let err = Dfg::from_edges(
-            "loop",
-            vec![Operation::Add],
-            vec![(n(0), n(0))],
-            [],
-            [],
-        )
-        .unwrap_err();
+        let err =
+            Dfg::from_edges("loop", vec![Operation::Add], vec![(n(0), n(0))], [], []).unwrap_err();
         assert_eq!(err, GraphError::SelfLoop { node: n(0) });
     }
 

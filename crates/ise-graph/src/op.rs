@@ -121,7 +121,10 @@ impl Operation {
     /// Whether this operation is usually disallowed inside a custom functional unit:
     /// memory accesses and opaque calls.
     pub fn is_default_forbidden(self) -> bool {
-        matches!(self.class(), OperationClass::Memory | OperationClass::Opaque)
+        matches!(
+            self.class(),
+            OperationClass::Memory | OperationClass::Opaque
+        )
     }
 
     /// A short lower-case mnemonic, used in DOT dumps and debugging output.
@@ -155,8 +158,8 @@ impl Operation {
     pub fn all() -> &'static [Operation] {
         use Operation::*;
         &[
-            Input, Const, Add, Sub, And, Or, Xor, Not, Shl, Shr, Sar, Mul, Div, Rem, Cmp,
-            Select, Extend, Load, Store, Call,
+            Input, Const, Add, Sub, And, Or, Xor, Not, Shl, Shr, Sar, Mul, Div, Rem, Cmp, Select,
+            Extend, Load, Store, Call,
         ]
     }
 }
@@ -329,7 +332,9 @@ mod tests {
 
     #[test]
     fn latency_model_overrides() {
-        let m = LatencyModel::new().with_muldiv_cycles(5).with_memory_cycles(10);
+        let m = LatencyModel::new()
+            .with_muldiv_cycles(5)
+            .with_memory_cycles(10);
         assert_eq!(m.software_cycles(Operation::Mul), 5);
         assert_eq!(m.software_cycles(Operation::Store), 10);
     }

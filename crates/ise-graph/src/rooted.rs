@@ -231,7 +231,10 @@ mod tests {
     fn effective_forbidden_set() {
         let r = sample();
         assert!(r.is_forbidden(NodeId::new(0)), "Iext");
-        assert!(r.is_forbidden(NodeId::new(1)), "constants are roots and therefore Iext");
+        assert!(
+            r.is_forbidden(NodeId::new(1)),
+            "constants are roots and therefore Iext"
+        );
         assert!(!r.is_forbidden(NodeId::new(2)));
         assert!(r.is_forbidden(NodeId::new(3)), "load");
         assert!(r.is_forbidden(r.source()));

@@ -108,8 +108,20 @@ mod tests {
     #[test]
     fn depths_follow_longest_path() {
         // 0 -> 1 -> 3, 0 -> 2 -> 3, 2 -> 4 -> 3  (longest path to 3 has 3 edges)
-        let succs = vec![vec![n(1), n(2)], vec![n(3)], vec![n(3), n(4)], vec![], vec![n(3)]];
-        let preds = vec![vec![], vec![n(0)], vec![n(0)], vec![n(1), n(2), n(4)], vec![n(2)]];
+        let succs = vec![
+            vec![n(1), n(2)],
+            vec![n(3)],
+            vec![n(3), n(4)],
+            vec![],
+            vec![n(3)],
+        ];
+        let preds = vec![
+            vec![],
+            vec![n(0)],
+            vec![n(0)],
+            vec![n(1), n(2), n(4)],
+            vec![n(2)],
+        ];
         assert_eq!(depths_from_roots(&succs, &preds), vec![0, 1, 1, 3, 2]);
     }
 

@@ -45,7 +45,9 @@ impl fmt::Display for CompileError {
             CompileError::UnexpectedCharacter(c) => write!(f, "unexpected character {c:?}"),
             CompileError::UnexpectedToken(t) => write!(f, "unexpected token {t:?}"),
             CompileError::UnexpectedEnd => write!(f, "unexpected end of input"),
-            CompileError::UnknownVariable(name) => write!(f, "unknown variable {name:?} in out list"),
+            CompileError::UnknownVariable(name) => {
+                write!(f, "unknown variable {name:?} in out list")
+            }
             CompileError::Graph(e) => write!(f, "invalid data-flow graph: {e}"),
         }
     }
@@ -186,7 +188,11 @@ impl Parser {
     }
 
     fn next(&mut self) -> Result<Token, CompileError> {
-        let token = self.tokens.get(self.position).cloned().ok_or(CompileError::UnexpectedEnd)?;
+        let token = self
+            .tokens
+            .get(self.position)
+            .cloned()
+            .ok_or(CompileError::UnexpectedEnd)?;
         self.position += 1;
         Ok(token)
     }
@@ -210,16 +216,12 @@ impl Parser {
                                 .ok_or(CompileError::UnknownVariable(var))?;
                             self.builder.mark_output(id);
                         }
-                        other => {
-                            return Err(CompileError::UnexpectedToken(format!("{other:?}")))
-                        }
+                        other => return Err(CompileError::UnexpectedToken(format!("{other:?}"))),
                     }
                     match self.next()? {
                         Token::Symbol(",") => continue,
                         Token::Symbol(";") => break,
-                        other => {
-                            return Err(CompileError::UnexpectedToken(format!("{other:?}")))
-                        }
+                        other => return Err(CompileError::UnexpectedToken(format!("{other:?}"))),
                     }
                 }
                 Ok(())
@@ -335,7 +337,10 @@ mod tests {
         // a, b, c inputs + add + mul
         assert_eq!(dfg.len(), 5);
         assert_eq!(dfg.external_inputs().len(), 3);
-        let muls = dfg.node_ids().filter(|&id| dfg.op(id) == Operation::Mul).count();
+        let muls = dfg
+            .node_ids()
+            .filter(|&id| dfg.op(id) == Operation::Mul)
+            .count();
         assert_eq!(muls, 1);
         assert_eq!(dfg.external_outputs().len(), 1);
     }
@@ -344,8 +349,14 @@ mod tests {
     fn precedence_of_mul_over_add() {
         let dfg = compile_block("prec", "x = a + b * c;").unwrap();
         // The multiply feeds the add, not the other way around.
-        let mul = dfg.node_ids().find(|&id| dfg.op(id) == Operation::Mul).unwrap();
-        let add = dfg.node_ids().find(|&id| dfg.op(id) == Operation::Add).unwrap();
+        let mul = dfg
+            .node_ids()
+            .find(|&id| dfg.op(id) == Operation::Mul)
+            .unwrap();
+        let add = dfg
+            .node_ids()
+            .find(|&id| dfg.op(id) == Operation::Add)
+            .unwrap();
         assert!(dfg.succs(mul).contains(&add));
     }
 
@@ -361,8 +372,14 @@ mod tests {
     #[test]
     fn loads_and_stores_are_memory_operations() {
         let dfg = compile_block("mem", "v = load(base + 4); store(base, v + 1);").unwrap();
-        let loads = dfg.node_ids().filter(|&id| dfg.op(id) == Operation::Load).count();
-        let stores = dfg.node_ids().filter(|&id| dfg.op(id) == Operation::Store).count();
+        let loads = dfg
+            .node_ids()
+            .filter(|&id| dfg.op(id) == Operation::Load)
+            .count();
+        let stores = dfg
+            .node_ids()
+            .filter(|&id| dfg.op(id) == Operation::Store)
+            .count();
         assert_eq!(loads, 1);
         assert_eq!(stores, 1);
         for id in dfg.node_ids() {
@@ -375,7 +392,10 @@ mod tests {
     #[test]
     fn constants_are_shared_and_are_roots() {
         let dfg = compile_block("const", "x = a + 4; y = b + 4;").unwrap();
-        let consts = dfg.node_ids().filter(|&id| dfg.op(id) == Operation::Const).count();
+        let consts = dfg
+            .node_ids()
+            .filter(|&id| dfg.op(id) == Operation::Const)
+            .count();
         assert_eq!(consts, 1, "the literal 4 is created once");
     }
 
@@ -406,7 +426,10 @@ mod tests {
             compile_block("bad", "out nothing;"),
             Err(CompileError::UnknownVariable(_))
         ));
-        assert!(matches!(compile_block("empty", ""), Err(CompileError::Graph(_))));
+        assert!(matches!(
+            compile_block("empty", ""),
+            Err(CompileError::Graph(_))
+        ));
         let msg = CompileError::UnexpectedCharacter('$').to_string();
         assert!(msg.contains('$'));
     }

@@ -135,8 +135,8 @@ pub fn generate_block(config: &MiBenchLikeConfig, seed: u64) -> Result<Dfg, Grap
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut builder = DfgBuilder::new(format!("mibench-like-{}-{seed}", config.size));
 
-    let live_ins = ((config.size as f64 * config.live_in_fraction).round() as usize)
-        .clamp(2, config.size - 2);
+    let live_ins =
+        ((config.size as f64 * config.live_in_fraction).round() as usize).clamp(2, config.size - 2);
     let ops = config.size - live_ins;
 
     let mut values: Vec<NodeId> = (0..live_ins)
@@ -280,10 +280,7 @@ mod tests {
     #[test]
     fn memory_operations_are_present_and_forbidden() {
         let dfg = generate_block(&MiBenchLikeConfig::new(400), 11).unwrap();
-        let memory = dfg
-            .node_ids()
-            .filter(|&id| dfg.op(id).is_memory())
-            .count();
+        let memory = dfg.node_ids().filter(|&id| dfg.op(id).is_memory()).count();
         let ratio = memory as f64 / 400.0;
         assert!(ratio > 0.08 && ratio < 0.30, "memory ratio {ratio}");
         for id in dfg.node_ids() {

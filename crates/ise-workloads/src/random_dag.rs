@@ -46,7 +46,10 @@ impl RandomDagConfig {
     ///
     /// Panics if `node_count` is zero.
     pub fn new(node_count: usize) -> Self {
-        assert!(node_count > 0, "a random DAG needs at least one operation node");
+        assert!(
+            node_count > 0,
+            "a random DAG needs at least one operation node"
+        );
         RandomDagConfig {
             node_count,
             live_ins: 8,
@@ -137,7 +140,10 @@ pub fn random_dag(config: &RandomDagConfig, seed: u64) -> Dfg {
     }
 
     // Mark a handful of values as live out of the block, as a compiler would.
-    let last_layer = layers.last().expect("at least one layer was produced").clone();
+    let last_layer = layers
+        .last()
+        .expect("at least one layer was produced")
+        .clone();
     for &node in &last_layer {
         builder.mark_output(node);
     }

@@ -54,7 +54,10 @@ impl TreeDfgBuilder {
     /// Panics if `depth` is 0 or larger than 16 (65536 leaves), which is far beyond any
     /// realistic basic block.
     pub fn new(depth: u32) -> Self {
-        assert!(depth >= 1 && depth <= 16, "tree depth must be between 1 and 16");
+        assert!(
+            (1..=16).contains(&depth),
+            "tree depth must be between 1 and 16"
+        );
         TreeDfgBuilder {
             depth,
             orientation: TreeOrientation::FanOut,
@@ -136,8 +139,9 @@ impl TreeDfgBuilder {
     fn build_fan_in(&self) -> Dfg {
         let mut builder = DfgBuilder::new(format!("tree-fanin-depth-{}", self.depth));
         let leaves = 1usize << self.depth;
-        let mut level: Vec<NodeId> =
-            (0..leaves).map(|i| builder.input(format!("in{i}"))).collect();
+        let mut level: Vec<NodeId> = (0..leaves)
+            .map(|i| builder.input(format!("in{i}")))
+            .collect();
         let mut op_index = 0usize;
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len() / 2);
@@ -155,12 +159,22 @@ impl TreeDfgBuilder {
 
     fn unary_operation(&self, op_index: &mut usize) -> Operation {
         // Only single-operand operations make sense in the fan-out orientation.
-        const UNARY: &[Operation] = &[Operation::Not, Operation::Shl, Operation::Shr, Operation::Extend];
+        const UNARY: &[Operation] = &[
+            Operation::Not,
+            Operation::Shl,
+            Operation::Shr,
+            Operation::Extend,
+        ];
         let op = self
             .operations
             .iter()
             .copied()
-            .filter(|op| matches!(op, Operation::Not | Operation::Shl | Operation::Shr | Operation::Extend))
+            .filter(|op| {
+                matches!(
+                    op,
+                    Operation::Not | Operation::Shl | Operation::Shr | Operation::Extend
+                )
+            })
             .cycle()
             .nth(*op_index)
             .unwrap_or(UNARY[*op_index % UNARY.len()]);

@@ -37,14 +37,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let scenarios = [
         ("4-in/2-out, unrestricted", Constraints::new(4, 2)?),
-        ("4-in/2-out, connected only", Constraints::new(4, 2)?.connected_only(true)),
-        ("4-in/2-out, depth <= 2", Constraints::new(4, 2)?.with_max_depth(2)),
+        (
+            "4-in/2-out, connected only",
+            Constraints::new(4, 2)?.connected_only(true),
+        ),
+        (
+            "4-in/2-out, depth <= 2",
+            Constraints::new(4, 2)?.with_max_depth(2),
+        ),
         ("2-in/1-out (narrow register file)", Constraints::new(2, 1)?),
     ];
 
     for (label, constraints) in scenarios {
         let result = incremental_cuts(&ctx, &constraints, &pruning);
-        let largest = result.cuts.iter().map(ise_enum::Cut::len).max().unwrap_or(0);
+        let largest = result
+            .cuts
+            .iter()
+            .map(ise_enum::Cut::len)
+            .max()
+            .unwrap_or(0);
         println!(
             "{label:38} -> {:4} candidates, largest spans {largest} operations, \
              {} search nodes",

@@ -38,8 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             selection.block_speedup()
         );
         total_before += selection.block_software_cycles;
-        total_after +=
-            selection.block_software_cycles - selection.total_saved_cycles.min(selection.block_software_cycles);
+        total_after += selection.block_software_cycles
+            - selection
+                .total_saved_cycles
+                .min(selection.block_software_cycles);
     }
     if total_after > 0 {
         println!(

@@ -56,9 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if let Some((_, best)) = ranked.first() {
-        let dot = DotOptions::new()
-            .with_cut(best.body().clone())
-            .render(&dfg);
+        let dot = DotOptions::new().with_cut(best.body().clone()).render(&dfg);
         println!("\nGraphviz rendering of the best candidate:\n{dot}");
     }
     Ok(())

@@ -12,7 +12,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let constraints = Constraints::new(4, 2)?;
     let budget = Some(1_000_000);
 
-    println!("depth  nodes  poly-cuts  poly-nodes  baseline-cuts  baseline-nodes  baseline-complete");
+    println!(
+        "depth  nodes  poly-cuts  poly-nodes  baseline-cuts  baseline-nodes  baseline-complete"
+    );
     for depth in 3..=5 {
         let dfg = TreeDfgBuilder::new(depth).build();
         let ctx = EnumContext::new(dfg.clone());
@@ -39,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  (poly {:.3}s, baseline {:.3}s{})",
             poly_time.as_secs_f64(),
             base_time.as_secs_f64(),
-            if complete { "" } else { ", baseline stopped at its search budget" }
+            if complete {
+                ""
+            } else {
+                ", baseline stopped at its search budget"
+            }
         );
     }
     Ok(())

@@ -51,7 +51,9 @@ fn small_contexts() -> Vec<(String, EnumContext)> {
     ));
     for seed in 0..4u64 {
         let dfg = random_dag(
-            &RandomDagConfig::new(18).with_live_ins(4).with_memory_ratio(0.2),
+            &RandomDagConfig::new(18)
+                .with_live_ins(4)
+                .with_memory_ratio(0.2),
             seed,
         );
         out.push((format!("random-{seed}"), EnumContext::new(dfg)));
@@ -119,7 +121,8 @@ fn pruning_never_changes_the_result_set() {
         let constraints = Constraints::new(3, 2).unwrap();
         let reference = incremental_cuts(&ctx, &constraints, &PruningConfig::none());
         for &technique in PruningConfig::technique_names() {
-            let pruned = incremental_cuts(&ctx, &constraints, &PruningConfig::all_except(technique));
+            let pruned =
+                incremental_cuts(&ctx, &constraints, &PruningConfig::all_except(technique));
             assert_eq!(
                 keys(&pruned.cuts),
                 keys(&reference.cuts),
@@ -127,7 +130,11 @@ fn pruning_never_changes_the_result_set() {
             );
         }
         let all = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
-        assert_eq!(keys(&all.cuts), keys(&reference.cuts), "all prunings on {name}");
+        assert_eq!(
+            keys(&all.cuts),
+            keys(&reference.cuts),
+            "all prunings on {name}"
+        );
         assert!(all.stats.search_nodes <= reference.stats.search_nodes);
     }
 }
@@ -162,7 +169,10 @@ fn connected_only_results_are_a_subset() {
         let only_connected = incremental_cuts(&ctx, &connected, &PruningConfig::all());
         let all_keys: HashSet<Key> = all.cuts.iter().map(Cut::key).collect();
         assert!(
-            only_connected.cuts.iter().all(|c| all_keys.contains(&c.key())),
+            only_connected
+                .cuts
+                .iter()
+                .all(|c| all_keys.contains(&c.key())),
             "connected-only produced a cut the unconstrained run did not, on {name}"
         );
         assert!(only_connected.cuts.iter().all(|c| c.is_connected(&ctx)));

@@ -26,8 +26,14 @@ fn sad_kernel_yields_a_profitable_multi_operation_instruction() {
         .map(|cut| (cut, estimate_merit(&ctx, cut, &model, 4, 1)))
         .max_by_key(|(_, merit)| merit.saved_cycles)
         .expect("at least one candidate");
-    assert!(best.0.len() >= 3, "the absolute-difference cluster should be a candidate");
-    assert!(best.1.saved_cycles >= 1, "merging ALU operations must save cycles");
+    assert!(
+        best.0.len() >= 3,
+        "the absolute-difference cluster should be a candidate"
+    );
+    assert!(
+        best.1.saved_cycles >= 1,
+        "merging ALU operations must save cycles"
+    );
 }
 
 #[test]
@@ -46,9 +52,10 @@ fn memory_bound_kernel_is_partitioned_by_forbidden_nodes() {
         }
     }
     // The xor operations are still found (possibly merged with the address adds).
-    assert!(result.cuts.iter().any(|cut| {
-        cut.body().iter().any(|node| dfg.op(node) == Operation::Xor)
-    }));
+    assert!(result
+        .cuts
+        .iter()
+        .any(|cut| { cut.body().iter().any(|node| dfg.op(node) == Operation::Xor) }));
 }
 
 #[test]

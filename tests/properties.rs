@@ -18,10 +18,8 @@ fn small_dag_strategy() -> impl Strategy<Value = Dfg> {
     let node_count = 4usize..14;
     node_count
         .prop_flat_map(|n| {
-            let preds = proptest::collection::vec(
-                (proptest::collection::vec(0usize..n, 1..3), 0u8..10),
-                n,
-            );
+            let preds =
+                proptest::collection::vec((proptest::collection::vec(0usize..n, 1..3), 0u8..10), n);
             (Just(n), preds)
         })
         .prop_map(|(n, specs)| {

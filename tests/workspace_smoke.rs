@@ -1,0 +1,79 @@
+//! Workspace-level smoke test: the umbrella crate's front-door example must hold end
+//! to end — a tree-shaped DFG flows through `enumerate_cuts`, yields a non-empty set
+//! of convex, constraint-respecting cuts, and the polynomial engine agrees with the
+//! brute-force oracle on small graphs. This is the cheap cross-crate check CI runs on
+//! every push; the exhaustive cross-algorithm comparison lives in
+//! `cross_algorithm_agreement.rs`.
+
+use ise_enum::{
+    enumerate_cuts, exhaustive_cuts, incremental_cuts, Constraints, Cut, EnumContext, PruningConfig,
+};
+use ise_workloads::random_dag::{random_dag, RandomDagConfig};
+use ise_workloads::tree::TreeDfgBuilder;
+
+/// The umbrella doctest scenario, pinned as a compiled test: tree DFG in,
+/// valid cuts out.
+#[test]
+fn tree_dfg_yields_valid_cuts() {
+    let dfg = TreeDfgBuilder::new(3).build();
+    let constraints = Constraints::new(2, 1).expect("non-zero constraints");
+    let result = enumerate_cuts(&dfg, &constraints).expect("enumeration succeeds");
+    assert!(!result.cuts.is_empty(), "a depth-3 tree has candidate cuts");
+
+    let ctx = EnumContext::new(dfg);
+    for cut in &result.cuts {
+        assert!(cut.is_convex(&ctx), "cut {:?} is not convex", cut.key());
+        assert!(
+            cut.inputs().len() <= constraints.max_inputs(),
+            "cut {:?} exceeds Nin",
+            cut.key()
+        );
+        assert!(
+            cut.outputs().len() <= constraints.max_outputs(),
+            "cut {:?} exceeds Nout",
+            cut.key()
+        );
+        assert!(cut.validate(&ctx, &constraints, true).is_ok());
+    }
+}
+
+fn sorted_keys(cuts: &[Cut]) -> Vec<(Vec<ise_graph::NodeId>, Vec<ise_graph::NodeId>)> {
+    let mut keys: Vec<_> = cuts.iter().map(Cut::key).collect();
+    keys.sort();
+    keys
+}
+
+/// `incremental_cuts` and `exhaustive_cuts` must agree cut-for-cut on graphs small
+/// enough for the brute-force oracle.
+#[test]
+fn incremental_agrees_with_exhaustive_on_small_graphs() {
+    let constraints = Constraints::new(3, 2).expect("non-zero constraints");
+    let mut graphs = vec![
+        TreeDfgBuilder::new(2).build(),
+        TreeDfgBuilder::new(3).build(),
+    ];
+    for seed in 0..4 {
+        graphs.push(random_dag(
+            &RandomDagConfig::new(10)
+                .with_live_ins(3)
+                .with_layer_width(3),
+            seed,
+        ));
+    }
+
+    for dfg in graphs {
+        let name = dfg.name().to_string();
+        let ctx = EnumContext::new(dfg);
+        let oracle = exhaustive_cuts(&ctx, &constraints, true);
+        let poly = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
+        assert_eq!(
+            sorted_keys(&oracle.cuts),
+            sorted_keys(&poly.cuts),
+            "incremental and exhaustive enumeration disagree on `{name}`"
+        );
+        assert!(
+            !poly.cuts.is_empty(),
+            "every test graph has at least one candidate (got none on `{name}`)"
+        );
+    }
+}

@@ -1,0 +1,410 @@
+//! Minimal, dependency-free stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate, exposing exactly the API surface this workspace's test
+//! suite uses:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map) and
+//!   [`prop_flat_map`](strategy::Strategy::prop_flat_map), implemented for integer
+//!   ranges, tuples and [`Just`](strategy::Just);
+//! * [`collection::vec`] and [`arbitrary::any`];
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]` header, and
+//!   the [`prop_assert!`]/[`prop_assert_eq!`] assertion macros.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case is reported with
+//! the seed of its run so it can be replayed (`PROPTEST_SEED=<seed> cargo test`).
+//! Case generation is deterministic by default (seeded from a fixed constant and the
+//! case index) so CI results are reproducible; set `PROPTEST_SEED` to explore a
+//! different region of the input space.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-case execution: configuration, error type, and the runner that drives
+    //! the [`proptest!`](crate::proptest) macro.
+
+    use std::fmt;
+
+    /// A failed property: carries the formatted assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// The result type every property body is wrapped into.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration; only the case count is configurable.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drives one property: owns the RNG that strategies draw values from.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: rand::rngs::StdRng,
+        base_seed: u64,
+    }
+
+    /// Fixed default seed (`PROPTEST_SEED` overrides it): deterministic CI, and any
+    /// failure report names the exact seed to replay.
+    const DEFAULT_SEED: u64 = 0x15E_CA5E;
+
+    impl TestRunner {
+        /// Creates a runner for `config`, honouring the `PROPTEST_SEED` env var.
+        pub fn new(config: ProptestConfig) -> Self {
+            use rand::SeedableRng;
+            let base_seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(DEFAULT_SEED);
+            TestRunner {
+                config,
+                rng: rand::rngs::StdRng::seed_from_u64(base_seed),
+                base_seed,
+            }
+        }
+
+        /// The RNG strategies sample from.
+        pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+            &mut self.rng
+        }
+
+        /// Runs `body` for the configured number of cases, panicking (like a failed
+        /// `assert!`) on the first case whose body returns an error.
+        ///
+        /// # Panics
+        ///
+        /// Panics when a case fails, reporting the case index and the base seed.
+        pub fn run_cases(&mut self, mut body: impl FnMut(&mut TestRunner) -> TestCaseResult) {
+            use rand::SeedableRng;
+            for case in 0..self.config.cases {
+                // Each case reseeds deterministically so a failure can be replayed
+                // without regenerating its predecessors.
+                self.rng = rand::rngs::StdRng::seed_from_u64(
+                    self.base_seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                if let Err(error) = body(self) {
+                    panic!(
+                        "proptest: case {case}/{} failed (base seed {:#x}): {error}",
+                        self.config.cases, self.base_seed,
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point: strategies derived from a type alone.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            use rand::Rng;
+            runner.rng().gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    use rand::Rng;
+                    runner.rng().gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// The canonical strategy for `T`: any value whatsoever.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections; only `Vec` is needed here.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::ops::Range;
+
+    /// A length specification for [`vec`]: an exact length or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty proptest size range");
+            SizeRange {
+                lo: range.start,
+                hi_exclusive: range.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from an inner strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            use rand::Rng;
+            let len = runner.rng().gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-imported surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current case unless `cond` holds (optionally with a formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            left,
+            right,
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pattern in strategy, ..) { body }` item
+/// becomes a `#[test]` that checks the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run_cases(|runner| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), runner);)+
+                    (move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    fn runner() -> TestRunner {
+        TestRunner::new(ProptestConfig::with_cases(16))
+    }
+
+    #[test]
+    fn ranges_tuples_and_just_compose() {
+        let mut r = runner();
+        let strategy =
+            (3usize..7).prop_flat_map(|n| (Just(n), crate::collection::vec(0usize..n, n)));
+        for _ in 0..100 {
+            let (n, items) = strategy.new_value(&mut r);
+            assert!((3..7).contains(&n));
+            assert_eq!(items.len(), n);
+            assert!(items.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let mut r = runner();
+        let doubled = (1usize..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.new_value(&mut r);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn any_bool_produces_both_values() {
+        let mut r = runner();
+        let strategy = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[usize::from(strategy.new_value(&mut r))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_passing_tests(x in 0usize..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(x, x, "x must equal itself (flip = {})", flip);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest: case")]
+    fn failing_property_panics_with_case_info() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+        runner.run_cases(|r| {
+            let value = Strategy::new_value(&(0usize..10), r);
+            prop_assert!(value >= 10, "value {} is small", value);
+            Ok(())
+        });
+    }
+}
