@@ -1,0 +1,59 @@
+//! Criterion benchmark backing the engine refactor: the incremental cut-body
+//! maintenance of §5.2 (`BodyStrategy::Incremental`, the default engine) against the
+//! legacy rebuild-per-`CHECK-CUT` pipeline (`BodyStrategy::Rebuild`), on the scaling
+//! workload's random DAGs and on a MiBench-like block. The `scaling` binary measures
+//! the same pair end to end and commits the trajectory as `BENCH_scaling.json`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_enum::{incremental_cuts_with, BodyStrategy, Constraints, EnumContext, PruningConfig};
+use ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
+use ise_workloads::random_dag::{random_dag, RandomDagConfig};
+
+fn contexts() -> Vec<(String, EnumContext)> {
+    let mut out = Vec::new();
+    for size in [50usize, 100] {
+        let dfg = random_dag(&RandomDagConfig::new(size).with_memory_ratio(0.15), 42);
+        out.push((format!("random_dag_{size}"), EnumContext::new(dfg)));
+    }
+    let dfg = generate_block(&MiBenchLikeConfig::new(80), 80).expect("generator output is valid");
+    out.push(("mibench_like_80".to_string(), EnumContext::new(dfg)));
+    out
+}
+
+fn bench_engine_vs_rebuild(c: &mut Criterion) {
+    let constraints = Constraints::new(4, 2).expect("non-zero constraints");
+    let mut group = c.benchmark_group("engine_vs_rebuild");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for (name, ctx) in contexts() {
+        group.bench_with_input(BenchmarkId::new("engine", &name), &ctx, |b, ctx| {
+            b.iter(|| {
+                incremental_cuts_with(
+                    ctx,
+                    &constraints,
+                    &PruningConfig::all(),
+                    None,
+                    BodyStrategy::Incremental,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", &name), &ctx, |b, ctx| {
+            b.iter(|| {
+                incremental_cuts_with(
+                    ctx,
+                    &constraints,
+                    &PruningConfig::all(),
+                    None,
+                    BodyStrategy::Rebuild,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_rebuild);
+criterion_main!(benches);

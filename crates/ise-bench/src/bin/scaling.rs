@@ -1,19 +1,24 @@
-//! Validates the polynomial-complexity claim of §5: the run time of the incremental
-//! enumeration grows polynomially in the block size, with the exponent controlled by
-//! the input/output constraints (`O(n^(Nin+Nout+1))` in the worst case, much lower on
-//! realistic blocks thanks to the §5.3 prunings).
+//! Validates the polynomial-complexity claim of §5 (experiment E3 in DESIGN.md) and
+//! measures the engine-vs-rebuild gap of the incremental cut-body maintenance.
 //!
-//! Output: one row per (size, Nin, Nout) combination with the measured run time and the
-//! empirical growth exponent with respect to the previous size of the same constraint
-//! pair.
+//! For every (size, Nin, Nout) combination the incremental enumeration runs twice over
+//! the same context: once with the engine's incrementally maintained body
+//! (`BodyStrategy::Incremental`) and once with the legacy rebuild-per-`CHECK-CUT`
+//! pipeline (`BodyStrategy::Rebuild`). Both runs must find the same cuts; the wall
+//! times quantify what the §5.2 incremental discipline buys. The stdout report stays
+//! CSV (one row per combination, with the empirical growth exponent of the engine time
+//! with respect to the previous size of the same constraint pair); the machine-readable
+//! perf trajectory is additionally written as JSON for future PRs to diff.
 //!
-//! Options (key=value): `sizes` is fixed in code (50..=max_size doubling), `max_size`
-//! (default 200), `seed`, `memory_ratio_pct` (default 15).
+//! Options (key=value): `max_size` (default 200; sizes are 50..=max_size doubling),
+//! `seed`, `memory_ratio_pct` (default 15), `out` (default `BENCH_scaling.json`;
+//! `out=-` disables the JSON artifact).
 
 use std::collections::HashMap;
 
+use ise_bench::json::Json;
 use ise_bench::{timed, Options};
-use ise_enum::{incremental_cuts, Constraints, EnumContext, PruningConfig};
+use ise_enum::{incremental_cuts_with, BodyStrategy, Constraints, EnumContext, PruningConfig};
 use ise_workloads::random_dag::{random_dag, RandomDagConfig};
 
 fn main() {
@@ -21,6 +26,7 @@ fn main() {
     let max_size = opts.usize("max_size", 200);
     let seed = opts.u64("seed", 42);
     let memory_ratio = opts.usize("memory_ratio_pct", 15) as f64 / 100.0;
+    let out_path = opts.string("out", "BENCH_scaling.json");
 
     let mut sizes = Vec::new();
     let mut n = 50usize;
@@ -30,36 +36,127 @@ fn main() {
     }
     let constraint_pairs = [(2usize, 1usize), (3, 1), (4, 1), (4, 2)];
 
-    println!("nodes,nin,nout,seconds,cuts,search_nodes,dominator_runs,growth_exponent");
+    println!(
+        "nodes,nin,nout,engine_seconds,rebuild_seconds,speedup,cuts,search_nodes,\
+         dominator_runs,candidates_checked,growth_exponent"
+    );
+    let mut rows = Vec::new();
     let mut previous: HashMap<(usize, usize), (usize, f64)> = HashMap::new();
+    let mut total_engine = 0.0f64;
+    let mut total_rebuild = 0.0f64;
+    let mut peak_candidates = 0usize;
     for &size in &sizes {
         let cfg = RandomDagConfig::new(size).with_memory_ratio(memory_ratio);
         let dfg = random_dag(&cfg, seed);
         let ctx = EnumContext::new(dfg);
         for &(nin, nout) in &constraint_pairs {
             let constraints = Constraints::new(nin, nout).expect("non-zero I/O constraints");
-            let (result, elapsed) =
-                timed(|| incremental_cuts(&ctx, &constraints, &PruningConfig::all()));
-            let seconds = elapsed.as_secs_f64();
+            let (result, engine_elapsed) = timed(|| {
+                incremental_cuts_with(
+                    &ctx,
+                    &constraints,
+                    &PruningConfig::all(),
+                    None,
+                    BodyStrategy::Incremental,
+                )
+            });
+            let (rebuilt, rebuild_elapsed) = timed(|| {
+                incremental_cuts_with(
+                    &ctx,
+                    &constraints,
+                    &PruningConfig::all(),
+                    None,
+                    BodyStrategy::Rebuild,
+                )
+            });
+            assert_eq!(
+                result.stats.valid_cuts, rebuilt.stats.valid_cuts,
+                "strategies disagree on size {size}, Nin={nin}, Nout={nout}"
+            );
+            let engine_seconds = engine_elapsed.as_secs_f64();
+            let rebuild_seconds = rebuild_elapsed.as_secs_f64();
+            let speedup = if engine_seconds > 0.0 {
+                rebuild_seconds / engine_seconds
+            } else {
+                f64::NAN
+            };
+            total_engine += engine_seconds;
+            total_rebuild += rebuild_seconds;
+            peak_candidates = peak_candidates.max(result.stats.candidates_checked);
             let exponent = previous.get(&(nin, nout)).map(|&(prev_size, prev_secs)| {
                 if prev_secs > 0.0 && size > prev_size {
-                    (seconds / prev_secs).ln() / (size as f64 / prev_size as f64).ln()
+                    (engine_seconds / prev_secs).ln() / (size as f64 / prev_size as f64).ln()
                 } else {
                     f64::NAN
                 }
             });
+            let nodes = ctx.rooted().original_len();
             println!(
-                "{},{},{},{:.6},{},{},{},{}",
-                ctx.rooted().original_len(),
+                "{},{},{},{:.6},{:.6},{:.2},{},{},{},{},{}",
+                nodes,
                 nin,
                 nout,
-                seconds,
+                engine_seconds,
+                rebuild_seconds,
+                speedup,
                 result.stats.valid_cuts,
                 result.stats.search_nodes,
                 result.stats.dominator_runs,
+                result.stats.candidates_checked,
                 exponent.map_or_else(|| "-".to_string(), |e| format!("{e:.2}")),
             );
-            previous.insert((nin, nout), (size, seconds));
+            previous.insert((nin, nout), (size, engine_seconds));
+            rows.push(Json::object([
+                ("nodes", Json::uint(nodes)),
+                ("nin", Json::uint(nin)),
+                ("nout", Json::uint(nout)),
+                ("engine_seconds", Json::num(engine_seconds)),
+                ("rebuild_seconds", Json::num(rebuild_seconds)),
+                ("speedup", Json::num(speedup)),
+                ("cuts", Json::uint(result.stats.valid_cuts)),
+                ("search_nodes", Json::uint(result.stats.search_nodes)),
+                ("dominator_runs", Json::uint(result.stats.dominator_runs)),
+                (
+                    "candidates_checked",
+                    Json::uint(result.stats.candidates_checked),
+                ),
+            ]));
         }
+    }
+
+    if out_path != "-" {
+        let doc = Json::object([
+            ("schema", Json::str("ise-bench/scaling/v1")),
+            ("seed", Json::UInt(seed)),
+            ("max_size", Json::uint(max_size)),
+            (
+                "memory_ratio_pct",
+                Json::uint((memory_ratio * 100.0).round() as usize),
+            ),
+            ("rows", Json::Array(rows)),
+            (
+                "summary",
+                Json::object([
+                    ("total_engine_seconds", Json::num(total_engine)),
+                    ("total_rebuild_seconds", Json::num(total_rebuild)),
+                    (
+                        "speedup",
+                        Json::num(if total_engine > 0.0 {
+                            total_rebuild / total_engine
+                        } else {
+                            f64::NAN
+                        }),
+                    ),
+                    ("peak_candidates", Json::uint(peak_candidates)),
+                ]),
+            ),
+        ]);
+        std::fs::write(&out_path, doc.render() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        eprintln!(
+            "wrote {out_path} (engine {total_engine:.3}s vs rebuild {total_rebuild:.3}s, \
+             speedup {:.2}x)",
+            total_rebuild / total_engine.max(f64::MIN_POSITIVE)
+        );
     }
 }

@@ -1,0 +1,168 @@
+//! A minimal, dependency-free JSON emitter for machine-readable benchmark artifacts.
+//!
+//! The experiment binaries publish their perf trajectory as committed JSON files (for
+//! example `BENCH_scaling.json`, written by the `scaling` binary) so that future
+//! revisions can diff enumeration performance across PRs without re-parsing CSV
+//! stdout. The emitter covers exactly the JSON subset those artifacts need: objects
+//! with ordered keys, arrays, strings, booleans and finite numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use ise_bench::json::Json;
+//!
+//! let doc = Json::object([
+//!     ("schema", Json::str("demo/v1")),
+//!     ("count", Json::uint(3)),
+//!     ("ratio", Json::num(0.5)),
+//!     ("rows", Json::array([Json::bool(true), Json::str("a\"b")])),
+//! ]);
+//! assert_eq!(
+//!     doc.render(),
+//!     r#"{"schema":"demo/v1","count":3,"ratio":0.5,"rows":[true,"a\"b"]}"#
+//! );
+//! ```
+
+/// A JSON value tree; build it bottom-up and [`Json::render`] it to a string.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, rendered without a fraction.
+    UInt(u64),
+    /// A finite floating-point number; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with keys in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned integer value.
+    pub fn uint(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+
+    /// A floating-point value.
+    pub fn num(v: f64) -> Json {
+        Json::Num(v)
+    }
+
+    /// A boolean value.
+    pub fn bool(v: bool) -> Json {
+        Json::Bool(v)
+    }
+
+    /// An array from any iterator of values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, keeping their order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::bool(false).render(), "false");
+        assert_eq!(Json::uint(42).render(), "42");
+        assert_eq!(Json::num(1.25).render(), "1.25");
+        assert_eq!(Json::num(f64::NAN).render(), "null");
+        assert_eq!(Json::num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nesting_preserves_order() {
+        let doc = Json::object([
+            ("b", Json::uint(1)),
+            ("a", Json::array([Json::Null, Json::uint(2)])),
+        ]);
+        assert_eq!(doc.render(), r#"{"b":1,"a":[null,2]}"#);
+    }
+}

@@ -7,6 +7,9 @@
 //!   with path compression, §5.4 of the paper) over any [`FlowGraph`], optionally with a
 //!   set of *removed* vertices so that it can run on the reduced graphs required by the
 //!   multiple-vertex dominator construction;
+//! * [`LtWorkspace`] — reusable scratch memory for repeated Lengauer–Tarjan runs over
+//!   the same graph, so the per-candidate runs of the incremental enumeration perform
+//!   no allocations;
 //! * [`iterative_dominators`] — the Cooper–Harvey–Kennedy iterative algorithm, used as a
 //!   cross-checking oracle and as an ablation alternative;
 //! * [`DominatorTree`] — immediate dominators plus constant-time `dominates` ancestry
@@ -49,7 +52,7 @@ mod tree;
 
 pub use flow::{FlowGraph, Forward, Reverse};
 pub use iterative::iterative_dominators;
-pub use lt::{lengauer_tarjan, lengauer_tarjan_reduced};
+pub use lt::{lengauer_tarjan, lengauer_tarjan_reduced, LtWorkspace};
 pub use tree::DominatorTree;
 
 use ise_graph::RootedDfg;

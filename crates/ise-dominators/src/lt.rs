@@ -15,6 +15,248 @@ use crate::tree::DominatorTree;
 
 const UNDEF: u32 = u32::MAX;
 
+/// Reusable scratch memory for [`lengauer_tarjan_reduced`]-style runs.
+///
+/// The incremental enumeration of the paper invokes Lengauer–Tarjan once per
+/// `PICK-INPUTS` step — thousands of times per basic block — and §5.4 attributes most of
+/// the run time to those invocations. A `LtWorkspace` keeps every per-run vector
+/// (DFS numbering, semidominators, path-compression forest, buckets, immediate
+/// dominators) alive between runs, so repeated runs over the same graph perform no
+/// allocations at all. After [`LtWorkspace::run_reduced`] the immediate dominators can
+/// be read back directly ([`LtWorkspace::idom`], [`LtWorkspace::is_reachable`]) without
+/// materializing a [`DominatorTree`], which is what makes per-candidate dominator
+/// queries cheap.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_dominators::{Forward, LtWorkspace};
+/// use ise_graph::{DfgBuilder, Operation, RootedDfg};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let x = b.node(Operation::Not, &[a]);
+/// let rooted = RootedDfg::new(b.build()?);
+/// let empty = rooted.node_set();
+///
+/// let mut ws = LtWorkspace::new();
+/// ws.run_reduced(&Forward(&rooted), &empty);
+/// assert_eq!(ws.idom(x), Some(a));
+/// assert!(ws.is_reachable(x));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LtWorkspace {
+    dfnum: Vec<u32>,
+    parent: Vec<Option<NodeId>>,
+    vertex: Vec<NodeId>,
+    semi: Vec<u32>,
+    ancestor: Vec<Option<NodeId>>,
+    label: Vec<NodeId>,
+    bucket: Vec<Vec<NodeId>>,
+    idom: Vec<Option<NodeId>>,
+    dfs_stack: Vec<(NodeId, Option<NodeId>)>,
+    compress_stack: Vec<NodeId>,
+}
+
+impl LtWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily on the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes and reinitializes every buffer for a graph of `n` vertices.
+    fn reset(&mut self, n: usize) {
+        self.dfnum.clear();
+        self.dfnum.resize(n, UNDEF);
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.vertex.clear();
+        self.vertex.reserve(n);
+        self.semi.clear();
+        self.semi.resize(n, UNDEF);
+        self.ancestor.clear();
+        self.ancestor.resize(n, None);
+        self.label.clear();
+        self.label.extend((0..n).map(NodeId::from_index));
+        // Buckets are drained by the main loop, so only the length needs fixing; the
+        // inner vectors keep their capacity across runs.
+        self.bucket.iter_mut().for_each(Vec::clear);
+        self.bucket.resize_with(n, Vec::new);
+        self.idom.clear();
+        self.idom.resize(n, None);
+    }
+
+    /// Runs Lengauer–Tarjan on the *reduced* graph obtained by deleting the vertices in
+    /// `removed` from `graph`, storing the result in the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root itself is in `removed`, or if `removed` was sized for a
+    /// different graph.
+    pub fn run_reduced<G: FlowGraph>(&mut self, graph: &G, removed: &DenseNodeSet) {
+        let n = graph.num_nodes();
+        let root = graph.root();
+        assert_eq!(
+            removed.capacity(),
+            n,
+            "removed-vertex set sized for a different graph"
+        );
+        assert!(
+            !removed.contains(root),
+            "the root of the flow graph cannot be removed"
+        );
+        self.reset(n);
+
+        // Iterative depth-first numbering, skipping removed vertices.
+        self.dfs_stack.clear();
+        self.dfs_stack.push((root, None));
+        while let Some((node, from)) = self.dfs_stack.pop() {
+            if self.dfnum[node.index()] != UNDEF {
+                continue;
+            }
+            self.dfnum[node.index()] = self.vertex.len() as u32;
+            self.vertex.push(node);
+            self.parent[node.index()] = from;
+            // Push successors in reverse so that the first successor is visited first;
+            // the visiting order does not affect correctness, only determinism.
+            for &succ in graph.succs(node).iter().rev() {
+                if self.dfnum[succ.index()] == UNDEF && !removed.contains(succ) {
+                    self.dfs_stack.push((succ, Some(node)));
+                }
+            }
+        }
+
+        let reached = self.vertex.len();
+        // semi[v] holds a dfnum; initially each vertex is its own semidominator
+        // (UNDEF for unreachable vertices).
+        self.semi.copy_from_slice(&self.dfnum);
+
+        // Main loop: vertices in decreasing dfnum order, excluding the root.
+        for i in (1..reached).rev() {
+            let w = self.vertex[i];
+            // Step 2: compute the semidominator of w.
+            for &v in graph.preds(w) {
+                if self.dfnum[v.index()] == UNDEF || removed.contains(v) {
+                    continue; // predecessor unreachable or deleted in the reduced graph
+                }
+                let u = eval(
+                    &mut self.compress_stack,
+                    &mut self.ancestor,
+                    &mut self.label,
+                    &self.semi,
+                    v,
+                );
+                if self.semi[u.index()] < self.semi[w.index()] {
+                    self.semi[w.index()] = self.semi[u.index()];
+                }
+            }
+            self.bucket[self.vertex[self.semi[w.index()] as usize].index()].push(w);
+            // LINK(parent[w], w).
+            let p = self.parent[w.index()].expect("non-root reachable vertices have DFS parents");
+            self.ancestor[w.index()] = Some(p);
+            // Step 3: implicitly compute immediate dominators for the vertices in
+            // bucket(parent[w]). Draining in place keeps the bucket's capacity for the
+            // next run.
+            while let Some(v) = self.bucket[p.index()].pop() {
+                let u = eval(
+                    &mut self.compress_stack,
+                    &mut self.ancestor,
+                    &mut self.label,
+                    &self.semi,
+                    v,
+                );
+                self.idom[v.index()] = if self.semi[u.index()] < self.semi[v.index()] {
+                    Some(u)
+                } else {
+                    Some(p)
+                };
+            }
+        }
+
+        // Step 4: fill in immediate dominators in increasing dfnum order.
+        for i in 1..reached {
+            let w = self.vertex[i];
+            if self.idom[w.index()] != Some(self.vertex[self.semi[w.index()] as usize]) {
+                let via = self.idom[w.index()].expect("bucket pass assigned a provisional idom");
+                self.idom[w.index()] = self.idom[via.index()];
+            }
+        }
+        self.idom[root.index()] = None;
+    }
+
+    /// The immediate dominator of `node` in the last run, or `None` for the root and
+    /// for vertices unreachable in the reduced graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the last run's graph.
+    #[inline]
+    pub fn idom(&self, node: NodeId) -> Option<NodeId> {
+        self.idom[node.index()]
+    }
+
+    /// Whether `node` was reachable from the root in the last run's reduced graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the last run's graph.
+    #[inline]
+    pub fn is_reachable(&self, node: NodeId) -> bool {
+        self.dfnum[node.index()] != UNDEF
+    }
+
+    /// Builds a full [`DominatorTree`] (with constant-time ancestry queries) from the
+    /// last run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace has never run.
+    pub fn to_tree(&self) -> DominatorTree {
+        let root = *self
+            .vertex
+            .first()
+            .expect("the workspace has completed at least one run");
+        DominatorTree::from_idoms(root, self.idom.clone())
+    }
+}
+
+/// Iterative path-compressing EVAL (§5.4: an iterative implementation avoids the
+/// recursion that the compiler cannot collapse once path compression kicks in).
+fn eval(
+    compress_stack: &mut Vec<NodeId>,
+    ancestor: &mut [Option<NodeId>],
+    label: &mut [NodeId],
+    semi: &[u32],
+    v: NodeId,
+) -> NodeId {
+    if ancestor[v.index()].is_none() {
+        return v;
+    }
+    // Collect the path from v towards the forest root (excluding the root itself).
+    compress_stack.clear();
+    let mut x = v;
+    while let Some(a) = ancestor[x.index()] {
+        if ancestor[a.index()].is_some() {
+            compress_stack.push(x);
+            x = a;
+        } else {
+            break;
+        }
+    }
+    // Unwind from the top so every ancestor link is already compressed.
+    while let Some(x) = compress_stack.pop() {
+        let a = ancestor[x.index()].expect("path vertices have ancestors");
+        if semi[label[a.index()].index()] < semi[label[x.index()].index()] {
+            label[x.index()] = label[a.index()];
+        }
+        ancestor[x.index()] = ancestor[a.index()];
+    }
+    label[v.index()]
+}
+
 /// Computes the dominator tree of `graph` rooted at [`FlowGraph::root`].
 ///
 /// # Example
@@ -52,126 +294,10 @@ pub fn lengauer_tarjan<G: FlowGraph>(graph: &G) -> DominatorTree {
 /// Panics if the root itself is in `removed`, or if `removed` was sized for a different
 /// graph.
 pub fn lengauer_tarjan_reduced<G: FlowGraph>(graph: &G, removed: &DenseNodeSet) -> DominatorTree {
-    let n = graph.num_nodes();
-    let root = graph.root();
-    assert_eq!(
-        removed.capacity(),
-        n,
-        "removed-vertex set sized for a different graph"
-    );
-    assert!(
-        !removed.contains(root),
-        "the root of the flow graph cannot be removed"
-    );
-
-    // Per-node state, indexed by node index.
-    let mut dfnum = vec![UNDEF; n];
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    // vertex[i] = node with dfnum i.
-    let mut vertex: Vec<NodeId> = Vec::with_capacity(n);
-
-    // Iterative depth-first numbering, skipping removed vertices.
-    let mut stack: Vec<(NodeId, Option<NodeId>)> = vec![(root, None)];
-    while let Some((node, from)) = stack.pop() {
-        if dfnum[node.index()] != UNDEF {
-            continue;
-        }
-        dfnum[node.index()] = vertex.len() as u32;
-        vertex.push(node);
-        parent[node.index()] = from;
-        // Push successors in reverse so that the first successor is visited first;
-        // the visiting order does not affect correctness, only determinism.
-        for &succ in graph.succs(node).iter().rev() {
-            if dfnum[succ.index()] == UNDEF && !removed.contains(succ) {
-                stack.push((succ, Some(node)));
-            }
-        }
-    }
-
-    let reached = vertex.len();
-    // semi[v] holds a dfnum; initially each vertex is its own semidominator.
-    let mut semi: Vec<u32> = (0..n)
-        .map(|i| dfnum[i]) // UNDEF for unreachable vertices
-        .collect();
-    let mut ancestor: Vec<Option<NodeId>> = vec![None; n];
-    let mut label: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
-    let mut bucket: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    let mut idom: Vec<Option<NodeId>> = vec![None; n];
-
-    // Iterative path-compressing EVAL (§5.4: an iterative implementation avoids the
-    // recursion that the compiler cannot collapse once path compression kicks in).
-    let mut compress_stack: Vec<NodeId> = Vec::new();
-    let mut eval = |v: NodeId,
-                    ancestor: &mut Vec<Option<NodeId>>,
-                    label: &mut Vec<NodeId>,
-                    semi: &Vec<u32>|
-     -> NodeId {
-        if ancestor[v.index()].is_none() {
-            return v;
-        }
-        // Collect the path from v towards the forest root (excluding the root itself).
-        compress_stack.clear();
-        let mut x = v;
-        while let Some(a) = ancestor[x.index()] {
-            if ancestor[a.index()].is_some() {
-                compress_stack.push(x);
-                x = a;
-            } else {
-                break;
-            }
-        }
-        // Unwind from the top so every ancestor link is already compressed.
-        while let Some(x) = compress_stack.pop() {
-            let a = ancestor[x.index()].expect("path vertices have ancestors");
-            if semi[label[a.index()].index()] < semi[label[x.index()].index()] {
-                label[x.index()] = label[a.index()];
-            }
-            ancestor[x.index()] = ancestor[a.index()];
-        }
-        label[v.index()]
-    };
-
-    // Main loop: vertices in decreasing dfnum order, excluding the root.
-    for i in (1..reached).rev() {
-        let w = vertex[i];
-        // Step 2: compute the semidominator of w.
-        for &v in graph.preds(w) {
-            if dfnum[v.index()] == UNDEF || removed.contains(v) {
-                continue; // predecessor unreachable or deleted in the reduced graph
-            }
-            let u = eval(v, &mut ancestor, &mut label, &semi);
-            if semi[u.index()] < semi[w.index()] {
-                semi[w.index()] = semi[u.index()];
-            }
-        }
-        bucket[vertex[semi[w.index()] as usize].index()].push(w);
-        // LINK(parent[w], w).
-        let p = parent[w.index()].expect("non-root reachable vertices have DFS parents");
-        ancestor[w.index()] = Some(p);
-        // Step 3: implicitly compute immediate dominators for the vertices in
-        // bucket(parent[w]).
-        let in_bucket = std::mem::take(&mut bucket[p.index()]);
-        for v in in_bucket {
-            let u = eval(v, &mut ancestor, &mut label, &semi);
-            idom[v.index()] = if semi[u.index()] < semi[v.index()] {
-                Some(u)
-            } else {
-                Some(p)
-            };
-        }
-    }
-
-    // Step 4: fill in immediate dominators in increasing dfnum order.
-    for i in 1..reached {
-        let w = vertex[i];
-        if idom[w.index()] != Some(vertex[semi[w.index()] as usize]) {
-            let via = idom[w.index()].expect("bucket pass assigned a provisional idom");
-            idom[w.index()] = idom[via.index()];
-        }
-    }
-    idom[root.index()] = None;
-
-    DominatorTree::from_idoms(root, idom)
+    let mut ws = LtWorkspace::new();
+    ws.run_reduced(graph, removed);
+    // The workspace is discarded, so the idom vector can be moved instead of cloned.
+    DominatorTree::from_idoms(graph.root(), ws.idom)
 }
 
 #[cfg(test)]
@@ -281,6 +407,30 @@ mod tests {
         assert!(!tree.is_reachable(m));
         assert_eq!(tree.idom(m), None);
         assert!(!tree.dominates(a, m));
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        // Run the same workspace over a sequence of different reduced graphs and check
+        // each run against a fresh computation: stale state must never leak through.
+        let r = figure1();
+        let g = Forward(&r);
+        let mut ws = LtWorkspace::new();
+        for victim in 0..6usize {
+            let mut removed = r.node_set();
+            removed.insert(n(victim));
+            ws.run_reduced(&g, &removed);
+            let fresh = lengauer_tarjan_reduced(&g, &removed);
+            for v in r.node_ids() {
+                assert_eq!(ws.idom(v), fresh.idom(v), "victim {victim}, node {v}");
+                assert_eq!(
+                    ws.is_reachable(v),
+                    fresh.is_reachable(v),
+                    "victim {victim}, node {v}"
+                );
+            }
+            assert_eq!(ws.to_tree().idom(n(3)), fresh.idom(n(3)));
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::collections::HashSet;
 use ise_graph::{DenseNodeSet, NodeId};
 
 use crate::flow::FlowGraph;
-use crate::lt::lengauer_tarjan_reduced;
+use crate::lt::{lengauer_tarjan_reduced, LtWorkspace};
 
 /// Checks whether `set` is a generalized dominator of `target` (Definition 5).
 ///
@@ -98,6 +98,10 @@ pub fn dominator_completions<G: FlowGraph>(
     target: NodeId,
     excluded: &DenseNodeSet,
 ) -> Vec<NodeId> {
+    // Materializes a full DominatorTree per call. Hot callers should use
+    // [`dominator_completions_in`], which reuses a workspace and skips the tree; this
+    // allocating form is kept as the convenient one-shot API and as the faithful
+    // legacy pipeline measured by the `engine-vs-rebuild` benchmark.
     let tree = lengauer_tarjan_reduced(graph, seed);
     if !tree.is_reachable(target) {
         return Vec::new();
@@ -105,6 +109,51 @@ pub fn dominator_completions<G: FlowGraph>(
     tree.strict_dominators(target)
         .filter(|d| !excluded.contains(*d) && !seed.contains(*d))
         .collect()
+}
+
+/// Allocation-free form of [`dominator_completions`]: the Lengauer–Tarjan run reuses
+/// `ws` and the completions are appended to `out` (which is cleared first), so a hot
+/// caller — the incremental enumeration performs one such call per `PICK-INPUTS` step —
+/// can reuse both buffers across calls. Unlike [`dominator_completions`], no
+/// [`crate::DominatorTree`] is materialized: the strict dominators of `target` are read
+/// straight off the workspace's immediate-dominator chain.
+///
+/// # Panics
+///
+/// Panics if `seed` contains the root or is sized for a different graph.
+pub fn dominator_completions_in<G: FlowGraph>(
+    ws: &mut LtWorkspace,
+    graph: &G,
+    seed: &DenseNodeSet,
+    target: NodeId,
+    excluded: &DenseNodeSet,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    ws.run_reduced(graph, seed);
+    push_filtered_dominator_chain(ws, target, seed, excluded, out);
+}
+
+/// Appends the strict dominators of `target` from the workspace's last run to `out`,
+/// skipping members of `seed` and `excluded`. Shared by the completions primitives and
+/// the generalized-dominator enumeration.
+fn push_filtered_dominator_chain(
+    ws: &LtWorkspace,
+    target: NodeId,
+    seed: &DenseNodeSet,
+    excluded: &DenseNodeSet,
+    out: &mut Vec<NodeId>,
+) {
+    if !ws.is_reachable(target) {
+        return;
+    }
+    let mut v = target;
+    while let Some(d) = ws.idom(v) {
+        if !excluded.contains(d) && !seed.contains(d) {
+            out.push(d);
+        }
+        v = d;
+    }
 }
 
 /// Enumerates every generalized dominator of `target` with at most `max_size` vertices,
@@ -169,6 +218,8 @@ pub fn enumerate_generalized_dominators<G: FlowGraph>(
         candidates: &candidates,
         seed: Vec::new(),
         seed_set: DenseNodeSet::new(n),
+        ws: LtWorkspace::new(),
+        chain_pool: Vec::new(),
         seen: HashSet::new(),
         result: Vec::new(),
     };
@@ -188,6 +239,11 @@ struct GenDomSearch<'a, G: FlowGraph> {
     candidates: &'a [NodeId],
     seed: Vec<NodeId>,
     seed_set: DenseNodeSet,
+    /// Reused Lengauer–Tarjan scratch, so the per-seed dominator runs stop allocating.
+    ws: LtWorkspace,
+    /// Reusable completion buffers, one per active recursion depth (the workspace is
+    /// overwritten by recursive calls, so each level collects its chain first).
+    chain_pool: Vec<Vec<NodeId>>,
     seen: HashSet<Vec<NodeId>>,
     result: Vec<Vec<NodeId>>,
 }
@@ -205,16 +261,26 @@ impl<G: FlowGraph> GenDomSearch<'_, G> {
     }
 
     fn recurse(&mut self, start: usize) {
-        let tree = lengauer_tarjan_reduced(self.graph, &self.seed_set);
-        if tree.is_reachable(self.target) {
-            for d in tree.strict_dominators(self.target) {
-                if self.excluded.contains(d) || self.seed_set.contains(d) {
-                    continue;
-                }
+        self.ws.run_reduced(self.graph, &self.seed_set);
+        if self.ws.is_reachable(self.target) {
+            // Collect the filtered dominator chain of the target before recursing —
+            // the recursive calls overwrite the workspace. The buffer comes from the
+            // per-depth pool, so steady-state recursion performs no allocations.
+            let mut completions = self.chain_pool.pop().unwrap_or_default();
+            push_filtered_dominator_chain(
+                &self.ws,
+                self.target,
+                &self.seed_set,
+                self.excluded,
+                &mut completions,
+            );
+            for &d in &completions {
                 let mut candidate = self.seed.clone();
                 candidate.push(d);
                 self.record_if_dominator(candidate);
             }
+            completions.clear();
+            self.chain_pool.push(completions);
         } else {
             // The seed alone blocks every path: it may itself be a dominator, and no
             // superset can satisfy condition 2 for the added vertex, so stop here.
@@ -369,6 +435,32 @@ mod tests {
         let mut comp = dominator_completions(&g, &seed, x, &excluded);
         comp.sort_unstable();
         assert_eq!(comp, vec![a, n]);
+    }
+
+    #[test]
+    fn completions_in_reuses_workspace_and_buffer() {
+        let (r, [a, b, _c, n, x, y]) = figure1();
+        let g = Forward(&r);
+        let excluded = excluded_for(&r);
+        let mut ws = LtWorkspace::new();
+        let mut out = vec![NodeId::new(99)]; // stale content must be cleared
+        for target in [x, y, n] {
+            for seed_member in [Some(b), Some(a), None] {
+                let mut seed = r.node_set();
+                if let Some(s) = seed_member {
+                    if s == target {
+                        continue;
+                    }
+                    seed.insert(s);
+                }
+                dominator_completions_in(&mut ws, &g, &seed, target, &excluded, &mut out);
+                let mut got = out.clone();
+                got.sort_unstable();
+                let mut fresh = dominator_completions(&g, &seed, target, &excluded);
+                fresh.sort_unstable();
+                assert_eq!(got, fresh, "target {target}, seed {seed_member:?}");
+            }
+        }
     }
 
     #[test]

@@ -24,13 +24,12 @@ use ise_graph::{DenseNodeSet, NodeId};
 
 use crate::config::Constraints;
 use crate::context::EnumContext;
-use crate::cut::Cut;
+use crate::engine::{self, Enumerator, SearchState};
 use crate::result::Enumeration;
-use crate::stats::EnumStats;
 
 /// Enumerates all valid cuts by pruned exhaustive search over the binary in/out space.
 ///
-/// Validity here follows refs. [4]/[15]: non-empty, convex, free of forbidden vertices
+/// Validity here follows refs. \[4\]/\[15\]: non-empty, convex, free of forbidden vertices
 /// and within the I/O port budget (the technical input condition of §3 is *not*
 /// required, so the result is a superset of what the polynomial algorithms report).
 ///
@@ -63,42 +62,18 @@ pub fn baseline_cuts_bounded(
     constraints: &Constraints,
     max_search_nodes: Option<usize>,
 ) -> Enumeration {
-    let n = ctx.rooted().num_nodes();
-    // Topological order restricted to original vertices: producers first, as in the
-    // published algorithm.
-    let order: Vec<NodeId> = ctx
-        .rooted()
-        .topological_order()
-        .iter()
-        .copied()
-        .filter(|&v| !ctx.rooted().is_artificial(v))
-        .collect();
-    let mut search = BaselineSearch {
-        ctx,
-        constraints,
-        order,
-        selected: DenseNodeSet::new(n),
-        excluded: DenseNodeSet::new(n),
-        is_input: vec![false; n],
-        reached_from_selected: vec![false; n],
-        input_count: 0,
-        live_out_count: 0,
-        cuts: Vec::new(),
-        stats: EnumStats::new(),
-        max_search_nodes,
-    };
-    search.recurse(0);
-    Enumeration {
-        cuts: search.cuts,
-        stats: search.stats,
-    }
+    let mut enumerator = BaselineEnumerator::new(ctx);
+    engine::run(&mut enumerator, ctx, constraints, max_search_nodes)
 }
 
-struct BaselineSearch<'a> {
+/// The Atasu/Pozzi-style binary search as an [`Enumerator`] over the shared engine:
+/// the cut under construction lives in the engine's body bit set (via the raw
+/// accessors), while the per-vertex decision markings stay here.
+pub struct BaselineEnumerator<'a> {
     ctx: &'a EnumContext,
-    constraints: &'a Constraints,
+    /// Topological order restricted to original vertices: producers first, as in the
+    /// published algorithm.
     order: Vec<NodeId>,
-    selected: DenseNodeSet,
     excluded: DenseNodeSet,
     /// For decided excluded vertices: whether they already feed a selected vertex.
     is_input: Vec<bool>,
@@ -109,25 +84,37 @@ struct BaselineSearch<'a> {
     /// Selected vertices that are externally live (`Oext`) and therefore already known
     /// to consume a write port.
     live_out_count: usize,
-    cuts: Vec<Cut>,
-    stats: EnumStats,
-    max_search_nodes: Option<usize>,
 }
 
-impl BaselineSearch<'_> {
-    fn out_of_budget(&self) -> bool {
-        self.max_search_nodes
-            .is_some_and(|limit| self.stats.search_nodes >= limit)
+impl<'a> BaselineEnumerator<'a> {
+    /// Creates the enumerator for one analysis context.
+    pub fn new(ctx: &'a EnumContext) -> Self {
+        let n = ctx.rooted().num_nodes();
+        let order: Vec<NodeId> = ctx
+            .rooted()
+            .topological_order()
+            .iter()
+            .copied()
+            .filter(|&v| !ctx.rooted().is_artificial(v))
+            .collect();
+        BaselineEnumerator {
+            ctx,
+            order,
+            excluded: DenseNodeSet::new(n),
+            is_input: vec![false; n],
+            reached_from_selected: vec![false; n],
+            input_count: 0,
+            live_out_count: 0,
+        }
     }
 
-    fn recurse(&mut self, idx: usize) {
-        if self.out_of_budget() {
+    fn recurse(&mut self, state: &mut SearchState<'_>, idx: usize) {
+        if !state.try_enter() {
             return;
         }
-        self.stats.search_nodes += 1;
         if idx == self.order.len() {
-            if !self.selected.is_empty() {
-                self.report();
+            if !state.body().is_empty() {
+                state.report_current(false);
             }
             return;
         }
@@ -139,12 +126,12 @@ impl BaselineSearch<'_> {
         // are already decided.
         {
             let reached = rooted.preds(v).iter().any(|p| {
-                self.selected.contains(*p)
+                state.body().contains(*p)
                     || (self.excluded.contains(*p) && self.reached_from_selected[p.index()])
             });
             self.excluded.insert(v);
             self.reached_from_selected[v.index()] = reached;
-            self.recurse(idx + 1);
+            self.recurse(state, idx + 1);
             self.excluded.remove(v);
             self.reached_from_selected[v.index()] = false;
         }
@@ -158,7 +145,7 @@ impl BaselineSearch<'_> {
                 .iter()
                 .any(|p| self.excluded.contains(*p) && self.reached_from_selected[p.index()]);
             if breaks_convexity {
-                self.stats.pruned_build_s += 1;
+                state.stats_mut().pruned_build_s += 1;
                 return;
             }
             // Input propagation: excluded predecessors of v become inputs now.
@@ -174,17 +161,17 @@ impl BaselineSearch<'_> {
             if is_live_out {
                 self.live_out_count += 1;
             }
-            self.selected.insert(v);
+            state.body_insert(v);
 
-            if self.input_count <= self.constraints.max_inputs()
-                && self.live_out_count <= self.constraints.max_outputs()
+            if self.input_count <= state.constraints().max_inputs()
+                && self.live_out_count <= state.constraints().max_outputs()
             {
-                self.recurse(idx + 1);
+                self.recurse(state, idx + 1);
             } else {
-                self.stats.rejected_io += 1;
+                state.stats_mut().rejected_io += 1;
             }
 
-            self.selected.remove(v);
+            state.body_remove(v);
             if is_live_out {
                 self.live_out_count -= 1;
             }
@@ -194,27 +181,26 @@ impl BaselineSearch<'_> {
             }
         }
     }
+}
 
-    fn report(&mut self) {
-        self.stats.candidates_checked += 1;
-        let cut = Cut::from_body(self.ctx, self.selected.clone());
-        match cut.validate(self.ctx, self.constraints, false) {
-            Ok(()) => {
-                self.stats.valid_cuts += 1;
-                self.cuts.push(cut);
-            }
-            Err(rejection) => self.stats.record_rejection(rejection),
-        }
+impl Enumerator for BaselineEnumerator<'_> {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn search(&mut self, state: &mut SearchState<'_>) {
+        self.recurse(state, 0);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cut::{Cut, CutKey};
     use crate::exhaustive::exhaustive_cuts;
     use ise_graph::{DfgBuilder, Operation};
 
-    fn keys(result: &Enumeration) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+    fn keys(result: &Enumeration) -> Vec<CutKey<'_>> {
         let mut keys: Vec<_> = result.cuts.iter().map(Cut::key).collect();
         keys.sort();
         keys

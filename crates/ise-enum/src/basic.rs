@@ -9,12 +9,13 @@
 //!
 //! This implementation favours clarity over speed: the generalized dominators of every
 //! candidate output are enumerated eagerly with
-//! [`ise_dominators::multi::enumerate_generalized_dominators`], and candidates are
-//! validated with the full [`Cut::validate`] check. It is the *reference* enumerator
-//! used to cross-check the incremental algorithm of §5.2; use
-//! [`crate::incremental_cuts`] for large blocks.
+//! [`ise_dominators::multi::enumerate_generalized_dominators`], candidates are rebuilt
+//! with the backward closure and reported through the shared [`crate::engine`], which
+//! de-duplicates them on their packed body key. It is the *reference* enumerator used
+//! to cross-check the incremental algorithm of §5.2; use [`crate::incremental_cuts`]
+//! for large blocks.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use ise_dominators::multi::enumerate_generalized_dominators;
 use ise_dominators::Forward;
@@ -23,9 +24,8 @@ use ise_graph::{DenseNodeSet, NodeId};
 use crate::cone::cone;
 use crate::config::Constraints;
 use crate::context::EnumContext;
-use crate::cut::Cut;
+use crate::engine::{self, Enumerator, SearchState};
 use crate::result::Enumeration;
-use crate::stats::EnumStats;
 
 /// Enumerates all valid cuts with the basic polynomial algorithm of Figure 2.
 ///
@@ -48,81 +48,80 @@ use crate::stats::EnumStats;
 /// # }
 /// ```
 pub fn basic_cuts(ctx: &EnumContext, constraints: &Constraints) -> Enumeration {
-    let mut search = BasicSearch {
-        ctx,
-        constraints,
-        dominators: HashMap::new(),
-        seen: HashSet::new(),
-        cuts: Vec::new(),
-        stats: EnumStats::new(),
-    };
-    let candidates = ctx.candidate_outputs().to_vec();
-    let mut outputs = Vec::new();
-    search.choose_outputs(&candidates, 0, &mut outputs);
-    Enumeration {
-        cuts: search.cuts,
-        stats: search.stats,
-    }
+    let mut enumerator = BasicEnumerator::new(ctx);
+    engine::run(&mut enumerator, ctx, constraints, None)
 }
 
-struct BasicSearch<'a> {
+/// The Figure 2 search as an [`Enumerator`] over the shared engine.
+pub struct BasicEnumerator<'a> {
     ctx: &'a EnumContext,
-    constraints: &'a Constraints,
     /// Cache of the generalized dominators (up to `Nin` vertices) of each output.
     dominators: HashMap<NodeId, Vec<Vec<NodeId>>>,
-    seen: HashSet<(Vec<NodeId>, Vec<NodeId>)>,
-    cuts: Vec<Cut>,
-    stats: EnumStats,
 }
 
-impl BasicSearch<'_> {
+impl<'a> BasicEnumerator<'a> {
+    /// Creates the enumerator for one analysis context.
+    pub fn new(ctx: &'a EnumContext) -> Self {
+        BasicEnumerator {
+            ctx,
+            dominators: HashMap::new(),
+        }
+    }
+
     /// Picks output combinations in increasing vertex order, skipping pairs related by
     /// postdominance (§5.1: such pairs can never both be outputs of a convex cut).
-    fn choose_outputs(&mut self, candidates: &[NodeId], start: usize, outputs: &mut Vec<NodeId>) {
+    fn choose_outputs(
+        &mut self,
+        state: &mut SearchState<'_>,
+        candidates: &[NodeId],
+        start: usize,
+        outputs: &mut Vec<NodeId>,
+    ) {
         if !outputs.is_empty() {
-            self.couple_with_inputs(outputs);
+            self.couple_with_inputs(state, outputs);
         }
-        if outputs.len() == self.constraints.max_outputs() {
+        if outputs.len() == state.constraints().max_outputs() {
             return;
         }
         for idx in start..candidates.len() {
             let o = candidates[idx];
-            self.stats.search_nodes += 1;
+            state.stats_mut().search_nodes += 1;
             let postdom = self.ctx.postdominator_tree();
             if outputs
                 .iter()
                 .any(|&p| postdom.dominates(p, o) || postdom.dominates(o, p))
             {
-                self.stats.pruned_output_output += 1;
+                state.stats_mut().pruned_output_output += 1;
                 continue;
             }
             outputs.push(o);
-            self.choose_outputs(candidates, idx + 1, outputs);
+            self.choose_outputs(state, candidates, idx + 1, outputs);
             outputs.pop();
         }
     }
 
     /// For a fixed output set, couples every output with each of its generalized
     /// dominators (respecting the shared `Nin` budget) and validates the induced cut.
-    fn couple_with_inputs(&mut self, outputs: &[NodeId]) {
+    fn couple_with_inputs(&mut self, state: &mut SearchState<'_>, outputs: &[NodeId]) {
         let n = self.ctx.rooted().num_nodes();
         let mut inputs = DenseNodeSet::new(n);
-        self.assign_dominator(outputs, 0, &mut inputs, 0);
+        self.assign_dominator(state, outputs, 0, &mut inputs, 0);
     }
 
     fn assign_dominator(
         &mut self,
+        state: &mut SearchState<'_>,
         outputs: &[NodeId],
         position: usize,
         inputs: &mut DenseNodeSet,
         used: usize,
     ) {
         if position == outputs.len() {
-            self.check_candidate(inputs, outputs);
+            self.check_candidate(state, inputs, outputs);
             return;
         }
         let output = outputs[position];
-        let dominators = self.dominators_of(output).to_vec();
+        let dominators = self.dominators_of(state, output).to_vec();
         for dominator in dominators {
             // Respect the shared input budget: count only the vertices not already used
             // by earlier outputs.
@@ -131,62 +130,67 @@ impl BasicSearch<'_> {
                 .copied()
                 .filter(|&d| !inputs.contains(d))
                 .collect();
-            if used + fresh.len() > self.constraints.max_inputs() {
+            if used + fresh.len() > state.constraints().max_inputs() {
                 continue;
             }
             for &d in &fresh {
                 inputs.insert(d);
             }
-            self.assign_dominator(outputs, position + 1, inputs, used + fresh.len());
+            self.assign_dominator(state, outputs, position + 1, inputs, used + fresh.len());
             for &d in &fresh {
                 inputs.remove(d);
             }
         }
     }
 
-    fn dominators_of(&mut self, output: NodeId) -> &Vec<Vec<NodeId>> {
+    fn dominators_of(&mut self, state: &mut SearchState<'_>, output: NodeId) -> &Vec<Vec<NodeId>> {
         if !self.dominators.contains_key(&output) {
             let doms = enumerate_generalized_dominators(
                 &Forward(self.ctx.rooted()),
                 output,
-                self.constraints.max_inputs(),
+                state.constraints().max_inputs(),
                 self.ctx.artificial(),
             );
-            self.stats.dominator_runs += 1;
+            state.stats_mut().dominator_runs += 1;
             self.dominators.insert(output, doms);
         }
         &self.dominators[&output]
     }
 
-    fn check_candidate(&mut self, inputs: &DenseNodeSet, outputs: &[NodeId]) {
-        self.stats.candidates_checked += 1;
+    fn check_candidate(
+        &mut self,
+        state: &mut SearchState<'_>,
+        inputs: &DenseNodeSet,
+        outputs: &[NodeId],
+    ) {
         let body = match cone(self.ctx.rooted(), inputs, outputs, false) {
             Ok(body) => body,
             Err(_) => unreachable!("cone never aborts when abort_on_forbidden is false"),
         };
-        let cut = Cut::from_body(self.ctx, body);
-        match cut.validate(self.ctx, self.constraints, true) {
-            Ok(()) => {
-                let key = cut.key();
-                if self.seen.insert(key) {
-                    self.stats.valid_cuts += 1;
-                    self.cuts.push(cut);
-                } else {
-                    self.stats.rejected_duplicate += 1;
-                }
-            }
-            Err(rejection) => self.stats.record_rejection(rejection),
-        }
+        state.report_deduped(body, true);
+    }
+}
+
+impl Enumerator for BasicEnumerator<'_> {
+    fn name(&self) -> &'static str {
+        "basic"
+    }
+
+    fn search(&mut self, state: &mut SearchState<'_>) {
+        let candidates = self.ctx.candidate_outputs();
+        let mut outputs = Vec::new();
+        self.choose_outputs(state, candidates, 0, &mut outputs);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cut::{Cut, CutKey};
     use crate::exhaustive::exhaustive_cuts;
     use ise_graph::{DfgBuilder, Operation};
 
-    fn keys(result: &Enumeration) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+    fn keys(result: &Enumeration) -> Vec<CutKey<'_>> {
         let mut keys: Vec<_> = result.cuts.iter().map(Cut::key).collect();
         keys.sort();
         keys

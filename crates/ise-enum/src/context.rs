@@ -135,6 +135,28 @@ impl EnumContext {
     ///
     /// An empty `set` dominates nothing (the source itself is never in `set`).
     pub fn set_dominates(&self, set: &DenseNodeSet, target: NodeId) -> bool {
+        let mut visited = self.rooted.node_set();
+        let mut stack = Vec::new();
+        self.set_dominates_in(set, target, &mut visited, &mut stack)
+    }
+
+    /// Like [`EnumContext::set_dominates`], but reuses caller-provided scratch: the
+    /// enumeration engine calls this once per seed candidate, so the DFS buffers must
+    /// not be reallocated each time.
+    ///
+    /// `visited` must have the capacity of the augmented graph; both buffers are
+    /// cleared on entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `visited` was sized for a different graph.
+    pub fn set_dominates_in(
+        &self,
+        set: &DenseNodeSet,
+        target: NodeId,
+        visited: &mut DenseNodeSet,
+        stack: &mut Vec<NodeId>,
+    ) -> bool {
         if set.is_empty() {
             return false;
         }
@@ -144,9 +166,10 @@ impl EnumContext {
         }
         // DFS from the source that never enters `set`; if it reaches `target`, some
         // path avoids the set.
-        let mut visited = self.rooted.node_set();
+        visited.clear();
         visited.insert(source);
-        let mut stack = vec![source];
+        stack.clear();
+        stack.push(source);
         while let Some(v) = stack.pop() {
             for &s in self.rooted.succs(v) {
                 if s == target {

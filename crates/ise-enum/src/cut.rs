@@ -44,6 +44,17 @@ pub struct Cut {
     outputs: Vec<NodeId>,
 }
 
+/// Allocation-free identity key of a [`Cut`], borrowing the packed words of its body
+/// bit set (see [`Cut::key`]).
+///
+/// Keys of cuts from the *same* graph compare equal iff the cuts are the same subgraph;
+/// comparing keys across different graphs is meaningless (indices refer to different
+/// vertices).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CutKey<'a> {
+    words: &'a [u64],
+}
+
 /// The reason a candidate cut was rejected by [`Cut::validate`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -130,26 +141,33 @@ impl Cut {
         &self.outputs
     }
 
-    /// A compact key identifying the cut by its inputs and outputs. By Theorem 2 two
-    /// convex cuts of the same graph with equal keys are the same cut, so this is what
-    /// the enumerators use for de-duplication.
-    pub fn key(&self) -> (Vec<NodeId>, Vec<NodeId>) {
-        (self.inputs.clone(), self.outputs.clone())
+    /// A compact, allocation-free key identifying the cut within its graph.
+    ///
+    /// The key borrows the packed words of the body bit set: two cuts of the same graph
+    /// have equal keys iff they are the same subgraph (and by Theorem 2 a convex cut is
+    /// equally identified by its input/output sets, which earlier revisions used as the
+    /// key at the cost of two vector clones per call). Keys are `Ord` and `Hash`
+    /// (hashed one 64-bit word at a time), so they can be sorted and set-collected for
+    /// cross-algorithm comparisons.
+    pub fn key(&self) -> CutKey<'_> {
+        CutKey {
+            words: self.body.words(),
+        }
     }
 
     /// Whether the cut is convex (Definition 2): no path between two members leaves the
     /// cut.
+    ///
+    /// Checked through an equivalent formulation that is linear in the (small) input
+    /// set instead of the body: a body is convex iff no derived input is reachable
+    /// from a body member. (If a path between members leaves the cut, the last outside
+    /// vertex before re-entry is a predecessor of a member — an input — reachable from
+    /// the first member; conversely a member-reachable input `w` yields the escaping
+    /// path member → `w` → member, since `w` feeds a member by definition.)
     pub fn is_convex(&self, ctx: &EnumContext) -> bool {
-        let n = ctx.rooted().num_nodes();
-        let mut below = DenseNodeSet::new(n); // vertices reachable from the body
-        let mut above = DenseNodeSet::new(n); // vertices that reach the body
-        for v in self.body.iter() {
-            below.union_with(ctx.reach().descendants(v));
-            above.union_with(ctx.reach().ancestors(v));
-        }
-        below.intersect_with(&above);
-        below.difference_with(&self.body);
-        below.is_empty()
+        self.inputs
+            .iter()
+            .all(|&w| ctx.reach().ancestors(w).is_disjoint(&self.body))
     }
 
     /// Whether the cut satisfies the paper's technical input condition (§3): for every
@@ -160,11 +178,15 @@ impl Cut {
     pub fn io_condition_violation(&self, ctx: &EnumContext) -> Option<NodeId> {
         let rooted = ctx.rooted();
         let input_set = DenseNodeSet::from_nodes(rooted.num_nodes(), self.inputs.iter().copied());
+        // One DFS per input, reusing the visited set and stack across inputs.
+        let mut visited = rooted.node_set();
+        let mut stack = Vec::new();
         'inputs: for &w in &self.inputs {
             // DFS from the source avoiding every other input; succeed if w is reached.
-            let mut visited = rooted.node_set();
+            visited.clear();
             visited.insert(rooted.source());
-            let mut stack = vec![rooted.source()];
+            stack.clear();
+            stack.push(rooted.source());
             while let Some(v) = stack.pop() {
                 for &s in rooted.succs(v) {
                     if s == w {
@@ -472,9 +494,21 @@ mod tests {
 
     #[test]
     fn key_and_display() {
-        let (ctx, [a, c, n, x, _, _, _]) = sample();
+        let (ctx, [_, _, n, x, y, _, _]) = sample();
         let cut = cut_of(&ctx, &[n, x]);
-        assert_eq!(cut.key(), (vec![a, c], vec![n, x]));
+        let same = cut_of(&ctx, &[n, x]);
+        let other = cut_of(&ctx, &[n, y]);
+        assert_eq!(cut.key(), same.key(), "equal bodies give equal keys");
+        assert_ne!(
+            cut.key(),
+            other.key(),
+            "different bodies give different keys"
+        );
+        // Keys are ordered and hashable without allocating.
+        let mut keys = [other.key(), cut.key()];
+        keys.sort();
+        let set: std::collections::HashSet<_> = keys.iter().copied().collect();
+        assert_eq!(set.len(), 2);
         let text = cut.to_string();
         assert!(text.contains("2 nodes"));
         assert!(format!("{cut:?}").contains("inputs"));

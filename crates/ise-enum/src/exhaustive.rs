@@ -6,13 +6,10 @@
 //! non-forbidden vertices, so it is only usable on graphs of a couple of dozen
 //! candidate vertices — which is exactly what the correctness tests need.
 
-use ise_graph::DenseNodeSet;
-
 use crate::config::Constraints;
 use crate::context::EnumContext;
-use crate::cut::Cut;
+use crate::engine::{self, Enumerator, SearchState};
 use crate::result::Enumeration;
-use crate::stats::EnumStats;
 
 /// Maximum number of candidate (non-forbidden) vertices accepted by
 /// [`exhaustive_cuts`]; beyond this the subset space is too large to enumerate.
@@ -51,33 +48,43 @@ pub fn exhaustive_cuts(
     constraints: &Constraints,
     require_io_condition: bool,
 ) -> Enumeration {
-    let candidates = ctx.candidate_outputs();
-    assert!(
-        candidates.len() <= MAX_EXHAUSTIVE_CANDIDATES,
-        "exhaustive enumeration over {} candidate vertices is infeasible",
-        candidates.len()
-    );
-    let mut stats = EnumStats::new();
-    let mut cuts = Vec::new();
-    let n = ctx.rooted().num_nodes();
-    for mask in 1u64..(1u64 << candidates.len()) {
-        stats.candidates_checked += 1;
-        let mut body = DenseNodeSet::new(n);
-        for (bit, &node) in candidates.iter().enumerate() {
-            if mask & (1 << bit) != 0 {
-                body.insert(node);
-            }
-        }
-        let cut = Cut::from_body(ctx, body);
-        match cut.validate(ctx, constraints, require_io_condition) {
-            Ok(()) => {
-                stats.valid_cuts += 1;
-                cuts.push(cut);
-            }
-            Err(rejection) => stats.record_rejection(rejection),
-        }
+    let mut enumerator = ExhaustiveEnumerator {
+        require_io_condition,
+    };
+    engine::run(&mut enumerator, ctx, constraints, None)
+}
+
+/// The brute-force subset oracle as an [`Enumerator`] over the shared engine: each
+/// subset is staged in the engine's body bit set (via the raw accessors) and reported
+/// without de-duplication, since the subset walk visits every body exactly once.
+pub struct ExhaustiveEnumerator {
+    /// Whether validity includes the technical input condition of §3.
+    pub require_io_condition: bool,
+}
+
+impl Enumerator for ExhaustiveEnumerator {
+    fn name(&self) -> &'static str {
+        "exhaustive"
     }
-    Enumeration { cuts, stats }
+
+    fn search(&mut self, state: &mut SearchState<'_>) {
+        let candidates = state.ctx().candidate_outputs();
+        assert!(
+            candidates.len() <= MAX_EXHAUSTIVE_CANDIDATES,
+            "exhaustive enumeration over {} candidate vertices is infeasible",
+            candidates.len()
+        );
+        for mask in 1u64..(1u64 << candidates.len()) {
+            state.body_clear();
+            for (bit, &node) in candidates.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    state.body_insert(node);
+                }
+            }
+            state.report_current(self.require_io_condition);
+        }
+        state.body_clear();
+    }
 }
 
 #[cfg(test)]

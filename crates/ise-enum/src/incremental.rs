@@ -1,5 +1,5 @@
 //! The incremental polynomial-time enumeration (§5.2, Figure 3 of the paper), with the
-//! pruning techniques of §5.3.
+//! pruning techniques of §5.3, implemented over the shared [`crate::engine`].
 //!
 //! The algorithm interleaves three recursive procedures:
 //!
@@ -10,29 +10,26 @@
 //!   current seed, each of which closes a multiple-vertex dominator) come from a
 //!   Lengauer–Tarjan run on the reduced graph, and the seed itself grows over the
 //!   output's ancestors;
-//! * `CHECK-CUT` rebuilds the cut identified by the chosen inputs and outputs
-//!   (Theorems 2/3), validates it, and recurses into `PICK-OUTPUT` if more outputs may
-//!   be added.
+//! * `CHECK-CUT` validates the cut identified by the chosen inputs and outputs
+//!   (Theorems 2/3) and recurses into `PICK-OUTPUT` if more outputs may be added.
 //!
-//! One deliberate implementation difference from the paper is documented in DESIGN.md:
-//! instead of maintaining the cut body `S` incrementally through `B(V, w)` updates, the
-//! body is rebuilt at every `CHECK-CUT` by a backward closure ([`crate::cone`]). The
-//! rebuild is `O(n)`, the same bound the paper charges per candidate, and the "pruning
-//! while building S" technique maps to aborting the closure as soon as a forbidden
-//! vertex enters it.
+//! The cut body `S` is maintained *incrementally* through the engine's `push`/`pop`
+//! transactions, as prescribed by §5.2: choosing an output extends `S`, choosing an
+//! input retracts the vertices it cuts off, and backtracking replays the undo trail.
+//! Earlier revisions instead rebuilt `S` from scratch at every `CHECK-CUT` with the
+//! backward closure of [`crate::cone`]; that pipeline survives as
+//! [`BodyStrategy::Rebuild`] for benchmarking, and DESIGN.md records the history and
+//! the measured gap. The Lengauer–Tarjan runs behind the completions reuse one
+//! [`LtWorkspace`], so the hot path performs no per-candidate allocations.
 
-use std::collections::HashSet;
+use ise_dominators::multi::{dominator_completions, dominator_completions_in};
+use ise_dominators::{Forward, LtWorkspace};
+use ise_graph::NodeId;
 
-use ise_dominators::multi::dominator_completions;
-use ise_dominators::Forward;
-use ise_graph::{DenseNodeSet, NodeId};
-
-use crate::cone::cone;
 use crate::config::{Constraints, PruningConfig};
 use crate::context::EnumContext;
-use crate::cut::Cut;
+use crate::engine::{self, BodyStrategy, Enumerator, SearchState};
 use crate::result::Enumeration;
-use crate::stats::EnumStats;
 
 /// Enumerates all valid cuts with the incremental algorithm of Figure 3 and the default
 /// pruning configuration.
@@ -72,64 +69,91 @@ pub fn incremental_cuts_bounded(
     pruning: &PruningConfig,
     max_search_nodes: Option<usize>,
 ) -> Enumeration {
-    let n = ctx.rooted().num_nodes();
-    let mut search = IncrementalSearch {
+    incremental_cuts_with(
         ctx,
         constraints,
         pruning,
-        inputs: Vec::new(),
-        input_set: DenseNodeSet::new(n),
-        outputs: Vec::new(),
-        output_set: DenseNodeSet::new(n),
-        seen: HashSet::new(),
-        cuts: Vec::new(),
-        stats: EnumStats::new(),
         max_search_nodes,
-    };
-    search.pick_output(constraints.max_inputs(), constraints.max_outputs());
-    Enumeration {
-        cuts: search.cuts,
-        stats: search.stats,
-    }
+        BodyStrategy::Incremental,
+    )
 }
 
-struct IncrementalSearch<'a> {
-    ctx: &'a EnumContext,
-    constraints: &'a Constraints,
-    pruning: &'a PruningConfig,
-    inputs: Vec<NodeId>,
-    input_set: DenseNodeSet,
-    outputs: Vec<NodeId>,
-    output_set: DenseNodeSet,
-    seen: HashSet<(Vec<NodeId>, Vec<NodeId>)>,
-    cuts: Vec<Cut>,
-    stats: EnumStats,
+/// Like [`incremental_cuts_bounded`] with an explicit [`BodyStrategy`], selecting
+/// between the incremental body maintenance and the legacy rebuild-per-`CHECK-CUT`
+/// pipeline. Both produce the same cuts; the `engine-vs-rebuild` benchmark measures
+/// the difference.
+pub fn incremental_cuts_with(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
     max_search_nodes: Option<usize>,
+    strategy: BodyStrategy,
+) -> Enumeration {
+    let mut enumerator = IncrementalEnumerator::new(ctx, pruning);
+    engine::run_with_strategy(
+        &mut enumerator,
+        ctx,
+        constraints,
+        max_search_nodes,
+        strategy,
+    )
 }
 
-impl IncrementalSearch<'_> {
-    fn out_of_budget(&self) -> bool {
-        self.max_search_nodes
-            .is_some_and(|limit| self.stats.search_nodes >= limit)
+/// The Figure 3 search as an [`Enumerator`] over the shared engine.
+///
+/// Owns only the algorithm-specific pieces: the pruning configuration, the reusable
+/// Lengauer–Tarjan workspace behind the dominator completions, and a pool of
+/// completion buffers (one per active recursion depth).
+pub struct IncrementalEnumerator<'a> {
+    ctx: &'a EnumContext,
+    pruning: &'a PruningConfig,
+    lt: LtWorkspace,
+    completion_pool: Vec<Vec<NodeId>>,
+}
+
+impl<'a> IncrementalEnumerator<'a> {
+    /// Creates the enumerator for one analysis context.
+    pub fn new(ctx: &'a EnumContext, pruning: &'a PruningConfig) -> Self {
+        IncrementalEnumerator {
+            ctx,
+            pruning,
+            lt: LtWorkspace::new(),
+            completion_pool: Vec::new(),
+        }
     }
 
     /// `PICK-OUTPUT` of Figure 3.
-    fn pick_output(&mut self, remaining_inputs: usize, remaining_outputs: usize) {
+    fn pick_output(
+        &mut self,
+        state: &mut SearchState<'_>,
+        remaining_inputs: usize,
+        remaining_outputs: usize,
+    ) {
         debug_assert!(remaining_outputs > 0);
-        let candidates = self.ctx.candidate_outputs().to_vec();
-        for o in candidates {
-            if self.out_of_budget() {
+        let ctx = self.ctx;
+        let legacy = state.strategy() == BodyStrategy::Rebuild;
+        // Legacy fidelity: the pre-engine implementation cloned the candidate list on
+        // every PICK-OUTPUT call (the engine borrows it from the context instead).
+        let legacy_candidates;
+        let candidates: &[NodeId] = if legacy {
+            legacy_candidates = ctx.candidate_outputs().to_vec();
+            &legacy_candidates
+        } else {
+            ctx.candidate_outputs()
+        };
+        for &o in candidates {
+            if state.out_of_budget() {
                 return;
             }
-            self.stats.search_nodes += 1;
-            if self.output_set.contains(o) {
+            state.stats_mut().search_nodes += 1;
+            if state.output_set().contains(o) {
                 continue;
             }
             // Admissibility (§5.1): two outputs of a convex cut are never related by
             // postdomination.
-            let postdom = self.ctx.postdominator_tree();
-            if self
-                .outputs
+            let postdom = ctx.postdominator_tree();
+            if state
+                .chosen_outputs()
                 .iter()
                 .any(|&p| postdom.dominates(p, o) || postdom.dominates(o, p))
             {
@@ -139,31 +163,42 @@ impl IncrementalSearch<'_> {
             // does not have to be chosen explicitly — it will appear as an internal
             // output of the candidate body.
             if self.pruning.output_output
-                && self.outputs.iter().any(|&p| self.ctx.reach().reaches(o, p))
+                && state
+                    .chosen_outputs()
+                    .iter()
+                    .any(|&p| ctx.reach().reaches(o, p))
             {
-                self.stats.pruned_output_output += 1;
+                state.stats_mut().pruned_output_output += 1;
                 continue;
             }
             // Connectedness pruning (§5.3): when only connected cuts are wanted, every
             // output after the first must be reachable from an already chosen input.
-            if self.constraints.is_connected_only()
+            if state.constraints().is_connected_only()
                 && self.pruning.connectedness
-                && !self.outputs.is_empty()
-                && !self.inputs.iter().any(|&i| self.ctx.reach().reaches(i, o))
+                && !state.chosen_outputs().is_empty()
+                && !state
+                    .chosen_inputs()
+                    .iter()
+                    .any(|&i| ctx.reach().reaches(i, o))
             {
-                self.stats.pruned_connectedness += 1;
+                state.stats_mut().pruned_connectedness += 1;
                 continue;
             }
 
-            self.outputs.push(o);
-            self.output_set.insert(o);
-            if self.ctx.set_dominates(&self.input_set, o) {
-                self.check_cut(remaining_inputs, remaining_outputs - 1);
+            state.push_output(o);
+            // Legacy fidelity: the allocating `set_dominates` reallocates its DFS
+            // scratch per call; the engine reuses the state's buffers.
+            let dominated = if legacy {
+                ctx.set_dominates(state.input_set(), o)
+            } else {
+                state.inputs_dominate(o)
+            };
+            if dominated {
+                self.check_cut(state, remaining_inputs, remaining_outputs - 1);
             } else if remaining_inputs > 0 {
-                self.pick_inputs(o, remaining_inputs, remaining_outputs - 1, 0);
+                self.pick_inputs(state, o, remaining_inputs, remaining_outputs - 1, 0);
             }
-            self.outputs.pop();
-            self.output_set.remove(o);
+            state.pop_output();
         }
     }
 
@@ -176,140 +211,196 @@ impl IncrementalSearch<'_> {
     /// in Dubrova's construction, so no dominator set is missed).
     fn pick_inputs(
         &mut self,
+        state: &mut SearchState<'_>,
         output: NodeId,
         remaining_inputs: usize,
         remaining_outputs: usize,
         min_seed_index: usize,
     ) {
         debug_assert!(remaining_inputs > 0);
-        if self.out_of_budget() {
+        if state.out_of_budget() {
             return;
         }
-        self.stats.search_nodes += 1;
+        state.stats_mut().search_nodes += 1;
+        let ctx = self.ctx;
 
         // Completions: vertices w such that I ∪ {w} dominates the output, found as the
-        // single-vertex dominators of the output in the graph with I removed.
-        self.stats.dominator_runs += 1;
-        let completions = dominator_completions(
-            &Forward(self.ctx.rooted()),
-            &self.input_set,
-            output,
-            self.ctx.artificial(),
-        );
-        for w in completions {
-            if self.output_set.contains(w) {
+        // single-vertex dominators of the output in the graph with I removed. In
+        // engine mode the Lengauer–Tarjan workspace and the completion buffer are both
+        // reused; in legacy-rebuild mode each run materializes a fresh `DominatorTree`,
+        // as the pre-engine implementation did (see DESIGN.md §1.1).
+        state.stats_mut().dominator_runs += 1;
+        let mut completions = self.completion_pool.pop().unwrap_or_default();
+        if state.strategy() == BodyStrategy::Rebuild {
+            completions.extend(dominator_completions(
+                &Forward(ctx.rooted()),
+                state.input_set(),
+                output,
+                ctx.artificial(),
+            ));
+        } else {
+            dominator_completions_in(
+                &mut self.lt,
+                &Forward(ctx.rooted()),
+                state.input_set(),
+                output,
+                ctx.artificial(),
+                &mut completions,
+            );
+        }
+        for &w in &completions {
+            if state.output_set().contains(w) {
                 continue;
             }
             // Output–input pruning (§5.3, lossless clean-path form — see DESIGN.md): a
             // candidate input with no forbidden-free path to the output can never be an
             // input to this output in a valid cut.
-            if self.pruning.output_input && !self.ctx.reach().clean_reaches(w, output) {
-                self.stats.pruned_output_input += 1;
+            if self.pruning.output_input && !ctx.reach().clean_reaches(w, output) {
+                state.stats_mut().pruned_output_input += 1;
                 continue;
             }
-            self.inputs.push(w);
-            self.input_set.insert(w);
-            self.check_cut(remaining_inputs - 1, remaining_outputs);
-            self.inputs.pop();
-            self.input_set.remove(w);
+            state.push_input(w);
+            self.check_cut(state, remaining_inputs - 1, remaining_outputs);
+            state.pop_input();
         }
+        completions.clear();
+        self.completion_pool.push(completions);
 
         if remaining_inputs > 1 {
             // Seed growth: add one more ancestor of the output to the seed set, in
-            // increasing id order so that each seed set is visited once.
-            let ancestors = self.ctx.reach().ancestors(output).to_vec();
-            for i in ancestors {
-                if self.out_of_budget() {
-                    return;
+            // increasing id order so that each seed set is visited once. Legacy
+            // fidelity: the pre-engine implementation materialized the ancestor list
+            // on every call; the engine iterates the precomputed reachability row.
+            if state.strategy() == BodyStrategy::Rebuild {
+                for i in ctx.reach().ancestors(output).to_vec() {
+                    if !self.try_seed(
+                        state,
+                        output,
+                        i,
+                        remaining_inputs,
+                        remaining_outputs,
+                        min_seed_index,
+                    ) {
+                        return;
+                    }
                 }
-                if i.index() < min_seed_index {
-                    continue;
+            } else {
+                for i in ctx.reach().ancestors(output).iter() {
+                    if !self.try_seed(
+                        state,
+                        output,
+                        i,
+                        remaining_inputs,
+                        remaining_outputs,
+                        min_seed_index,
+                    ) {
+                        return;
+                    }
                 }
-                if i == output
-                    || self.ctx.artificial().contains(i)
-                    || self.input_set.contains(i)
-                    || self.output_set.contains(i)
-                {
-                    continue;
-                }
-                // Output–input pruning (§5.3, lossless clean-path form).
-                if self.pruning.output_input && !self.ctx.reach().clean_reaches(i, output) {
-                    self.stats.pruned_output_input += 1;
-                    continue;
-                }
-                // Input–input pruning (§5.3): discard seeds in which one input
-                // postdominates another.
-                let postdom = self.ctx.postdominator_tree();
-                if self.pruning.input_input
-                    && self
-                        .inputs
-                        .iter()
-                        .any(|&v| postdom.dominates(i, v) || postdom.dominates(v, i))
-                {
-                    self.stats.pruned_input_input += 1;
-                    continue;
-                }
-                // Dominator–input pruning (§5.3, reformulated losslessly — see
-                // DESIGN.md): if every path from the root to the candidate already
-                // crosses the current seed, the candidate can never satisfy the
-                // technical input condition of §3 in any cut grown from this seed.
-                if self.pruning.dominator_input && self.ctx.set_dominates(&self.input_set, i) {
-                    self.stats.pruned_dominator_input += 1;
-                    continue;
-                }
-                self.inputs.push(i);
-                self.input_set.insert(i);
-                self.pick_inputs(
-                    output,
-                    remaining_inputs - 1,
-                    remaining_outputs,
-                    i.index() + 1,
-                );
-                self.inputs.pop();
-                self.input_set.remove(i);
             }
         }
     }
 
-    /// `CHECK-CUT` of Figure 3: rebuild the candidate body, validate it, and optionally
-    /// extend the cut with further outputs.
-    fn check_cut(&mut self, remaining_inputs: usize, remaining_outputs: usize) {
-        if self.out_of_budget() {
+    /// One iteration of the seed-growth loop of `PICK-INPUTS`: applies the §5.3 seed
+    /// prunings to candidate `i` and recurses if it survives. Returns `false` when the
+    /// search budget is exhausted and the loop must stop.
+    fn try_seed(
+        &mut self,
+        state: &mut SearchState<'_>,
+        output: NodeId,
+        i: NodeId,
+        remaining_inputs: usize,
+        remaining_outputs: usize,
+        min_seed_index: usize,
+    ) -> bool {
+        if state.out_of_budget() {
+            return false;
+        }
+        let ctx = self.ctx;
+        if i.index() < min_seed_index {
+            return true;
+        }
+        if i == output
+            || ctx.artificial().contains(i)
+            || state.input_set().contains(i)
+            || state.output_set().contains(i)
+        {
+            return true;
+        }
+        // Output–input pruning (§5.3, lossless clean-path form).
+        if self.pruning.output_input && !ctx.reach().clean_reaches(i, output) {
+            state.stats_mut().pruned_output_input += 1;
+            return true;
+        }
+        // Input–input pruning (§5.3): discard seeds in which one input postdominates
+        // another.
+        let postdom = ctx.postdominator_tree();
+        if self.pruning.input_input
+            && state
+                .chosen_inputs()
+                .iter()
+                .any(|&v| postdom.dominates(i, v) || postdom.dominates(v, i))
+        {
+            state.stats_mut().pruned_input_input += 1;
+            return true;
+        }
+        // Dominator–input pruning (§5.3, reformulated losslessly — see DESIGN.md): if
+        // every path from the root to the candidate already crosses the current seed,
+        // the candidate can never satisfy the technical input condition of §3 in any
+        // cut grown from this seed.
+        if self.pruning.dominator_input {
+            let dominated = if state.strategy() == BodyStrategy::Rebuild {
+                ctx.set_dominates(state.input_set(), i)
+            } else {
+                state.inputs_dominate(i)
+            };
+            if dominated {
+                state.stats_mut().pruned_dominator_input += 1;
+                return true;
+            }
+        }
+        state.push_input(i);
+        self.pick_inputs(
+            state,
+            output,
+            remaining_inputs - 1,
+            remaining_outputs,
+            i.index() + 1,
+        );
+        state.pop_input();
+        true
+    }
+
+    /// `CHECK-CUT` of Figure 3: report the candidate identified by the chosen inputs
+    /// and outputs, then optionally extend the cut with further outputs. The body
+    /// itself is already maintained by the engine; the legacy `O(n)` rebuild only runs
+    /// under [`BodyStrategy::Rebuild`].
+    fn check_cut(
+        &mut self,
+        state: &mut SearchState<'_>,
+        remaining_inputs: usize,
+        remaining_outputs: usize,
+    ) {
+        if state.out_of_budget() {
             return;
         }
-        self.stats.search_nodes += 1;
-        match cone(
-            self.ctx.rooted(),
-            &self.input_set,
-            &self.outputs,
-            self.pruning.build_s,
-        ) {
-            Ok(body) => self.report_candidate(body),
-            Err(_) => {
-                // "Pruning while building S": the body contains a forbidden vertex, so
-                // it cannot be reported; adding more outputs may still lead elsewhere.
-                self.stats.pruned_build_s += 1;
-            }
-        }
+        state.stats_mut().search_nodes += 1;
+        state.check_cut(self.pruning.build_s);
         if remaining_outputs > 0 {
-            self.pick_output(remaining_inputs, remaining_outputs);
+            self.pick_output(state, remaining_inputs, remaining_outputs);
         }
     }
+}
 
-    fn report_candidate(&mut self, body: DenseNodeSet) {
-        self.stats.candidates_checked += 1;
-        let cut = Cut::from_body(self.ctx, body);
-        match cut.validate(self.ctx, self.constraints, true) {
-            Ok(()) => {
-                if self.seen.insert(cut.key()) {
-                    self.stats.valid_cuts += 1;
-                    self.cuts.push(cut);
-                } else {
-                    self.stats.rejected_duplicate += 1;
-                }
-            }
-            Err(rejection) => self.stats.record_rejection(rejection),
-        }
+impl Enumerator for IncrementalEnumerator<'_> {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn search(&mut self, state: &mut SearchState<'_>) {
+        let nin = state.constraints().max_inputs();
+        let nout = state.constraints().max_outputs();
+        self.pick_output(state, nin, nout);
     }
 }
 
@@ -317,10 +408,11 @@ impl IncrementalSearch<'_> {
 mod tests {
     use super::*;
     use crate::basic::basic_cuts;
+    use crate::cut::{Cut, CutKey};
     use crate::exhaustive::exhaustive_cuts;
     use ise_graph::{DfgBuilder, Operation};
 
-    fn keys(result: &Enumeration) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+    fn keys(result: &Enumeration) -> Vec<CutKey<'_>> {
         let mut keys: Vec<_> = result.cuts.iter().map(Cut::key).collect();
         keys.sort();
         keys
@@ -358,6 +450,18 @@ mod tests {
         for pruning in [PruningConfig::all(), PruningConfig::none()] {
             let fast = incremental_cuts(&ctx, &constraints, &pruning);
             assert_eq!(keys(&fast), keys(&reference), "pruning {pruning:?}");
+        }
+    }
+
+    #[test]
+    fn both_strategies_match_the_oracle() {
+        let ctx = figure1();
+        let constraints = Constraints::new(3, 2).unwrap();
+        let oracle = exhaustive_cuts(&ctx, &constraints, true);
+        for strategy in [BodyStrategy::Incremental, BodyStrategy::Rebuild] {
+            let run =
+                incremental_cuts_with(&ctx, &constraints, &PruningConfig::all(), None, strategy);
+            assert_eq!(keys(&run), keys(&oracle), "{strategy:?}");
         }
     }
 

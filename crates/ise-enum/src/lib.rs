@@ -14,11 +14,18 @@
 //! * [`basic_cuts`] — the basic algorithm of §5.1/Figure 2, used as a readable
 //!   reference implementation and cross-check.
 //! * [`baseline_cuts`] — the pruned exhaustive search of Atasu/Pozzi et al. (refs.
-//!   [4]/[15]), the exponential-worst-case comparison baseline of the evaluation.
+//!   \[4\]/\[15\]), the exponential-worst-case comparison baseline of the evaluation.
 //! * [`exhaustive_cuts`] — a brute-force oracle over all vertex subsets, for testing.
 //! * [`estimate_merit`] / [`select_ises`] — the downstream use of the enumeration: a
 //!   latency-based speedup model per cut and a greedy selector of non-overlapping
 //!   custom instructions (§1/§7 of the paper).
+//!
+//! All four algorithms drive the shared [`engine`]: an arena-style [`SearchState`]
+//! owning the incremental cut-body maintenance of §5.2 (extend on output pick, retract
+//! on input pick, undo on backtrack), the packed-key de-duplication table and the
+//! search budget, behind one [`Enumerator`] trait. See DESIGN.md for the design
+//! history, including the earlier rebuild-per-`CHECK-CUT` pipeline that survives as
+//! [`BodyStrategy::Rebuild`] for benchmarking.
 //!
 //! # Example
 //!
@@ -54,6 +61,7 @@ mod cone;
 mod config;
 mod context;
 mod cut;
+pub mod engine;
 mod exhaustive;
 mod incremental;
 mod merit;
@@ -61,14 +69,17 @@ mod result;
 mod selection;
 mod stats;
 
-pub use baseline::{baseline_cuts, baseline_cuts_bounded};
-pub use basic::basic_cuts;
+pub use baseline::{baseline_cuts, baseline_cuts_bounded, BaselineEnumerator};
+pub use basic::{basic_cuts, BasicEnumerator};
 pub use cone::cone;
 pub use config::{ConstraintError, Constraints, PruningConfig};
 pub use context::EnumContext;
-pub use cut::{Cut, CutRejection};
-pub use exhaustive::{exhaustive_cuts, MAX_EXHAUSTIVE_CANDIDATES};
-pub use incremental::{incremental_cuts, incremental_cuts_bounded};
+pub use cut::{Cut, CutKey, CutRejection};
+pub use engine::{BodyStrategy, Enumerator, SearchState};
+pub use exhaustive::{exhaustive_cuts, ExhaustiveEnumerator, MAX_EXHAUSTIVE_CANDIDATES};
+pub use incremental::{
+    incremental_cuts, incremental_cuts_bounded, incremental_cuts_with, IncrementalEnumerator,
+};
 pub use merit::{estimate_merit, Merit};
 pub use result::Enumeration;
 pub use selection::{select_ises, Selection};

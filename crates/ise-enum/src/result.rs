@@ -39,10 +39,10 @@ impl Enumeration {
         self.cuts.len()
     }
 
-    /// Sorts the cuts into a canonical order (by input/output key) so that results of
-    /// different algorithms can be compared directly.
+    /// Sorts the cuts into a canonical order (by their packed body key, [`Cut::key`])
+    /// so that results of different algorithms can be compared directly.
     pub fn canonicalize(&mut self) {
-        self.cuts.sort_by_key(Cut::key);
+        self.cuts.sort_by(|a, b| a.key().cmp(&b.key()));
     }
 }
 

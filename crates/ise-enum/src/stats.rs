@@ -33,7 +33,9 @@ pub struct EnumStats {
     pub rejected_forbidden: usize,
     /// Candidate cuts rejected because they had too many inputs or outputs.
     pub rejected_io: usize,
-    /// Candidate cuts rejected because they were duplicates of an already-reported cut.
+    /// Candidate cuts skipped because an identical body had already been examined
+    /// (packed-key de-duplication; for the engine's dedup-first algorithms this counts
+    /// repeats of *any* examined body, valid or not).
     pub rejected_duplicate: usize,
     /// Candidate cuts rejected by the connectedness requirement.
     pub rejected_disconnected: usize,

@@ -187,6 +187,36 @@ impl DenseNodeSet {
         }
     }
 
+    /// Removes every member of `other` from `self`, returning how many elements were
+    /// actually removed. Word-level `self \ other`, the counting twin of
+    /// [`DenseNodeSet::difference_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn remove_all(&mut self, other: &DenseNodeSet) -> usize {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in remove_all"
+        );
+        let mut removed = 0;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            removed += (*a & b).count_ones() as usize;
+            *a &= !b;
+        }
+        removed
+    }
+
+    /// The raw 64-bit words backing the set, low indices first.
+    ///
+    /// Two sets of the same capacity are equal iff their words are equal, so the word
+    /// slice doubles as a packed, allocation-free identity key (hashable one word at a
+    /// time); the enumeration engine uses it to de-duplicate cut bodies.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Whether `self` and `other` share no element.
     ///
     /// # Panics
@@ -336,6 +366,26 @@ mod tests {
         assert!(!a.is_subset(&b));
         assert!(d.is_disjoint(&b));
         assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn remove_all_counts_removed_members() {
+        let mut a = DenseNodeSet::from_nodes(100, [n(1), n(2), n(3), n(70)]);
+        let b = DenseNodeSet::from_nodes(100, [n(2), n(70), n(99)]);
+        assert_eq!(a.remove_all(&b), 2);
+        assert_eq!(a.to_vec(), vec![n(1), n(3)]);
+        assert_eq!(a.remove_all(&b), 0);
+    }
+
+    #[test]
+    fn words_expose_the_packed_representation() {
+        let a = DenseNodeSet::from_nodes(130, [n(0), n(64), n(129)]);
+        assert_eq!(a.words().len(), 3);
+        assert_eq!(a.words()[0], 1);
+        assert_eq!(a.words()[1], 1);
+        assert_eq!(a.words()[2], 1 << 1);
+        let b = DenseNodeSet::from_nodes(130, [n(0), n(64), n(129)]);
+        assert_eq!(a.words(), b.words());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! notes in DESIGN.md):
 //!
 //! * [`tree`] — the Figure 4 tree-shaped worst case, parameterized by depth;
-//! * [`random_dag`] — layered random DAGs with controllable size, fan-in and
+//! * [`random_dag`](mod@random_dag) — layered random DAGs with controllable size, fan-in and
 //!   memory-operation density, used for the scaling study;
 //! * [`mibench_like`] — a MiBench-like basic-block generator and the 250-block suite
 //!   with the paper's size clusters;

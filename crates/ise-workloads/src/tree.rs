@@ -3,7 +3,7 @@
 //! Figure 4 of the paper shows a data-flow graph shaped as a tree that fans *out* from
 //! a single live-in value: every vertex produces a value consumed by two children, and
 //! the leaves are the externally visible results. On such graphs the pruned exhaustive
-//! search of refs. [4]/[15] degrades towards its exponential worst case — the paper
+//! search of refs. \[4\]/\[15\] degrades towards its exponential worst case — the paper
 //! quotes `O(1.6^n)` — because its effective pruning lever is the *input* constraint,
 //! and a fan-out tree never violates it: any connected selection has a single input.
 //! The output constraint, which is what actually invalidates most selections, is only

@@ -6,19 +6,16 @@
 use std::collections::HashSet;
 
 use ise_enum::{
-    baseline_cuts, basic_cuts, exhaustive_cuts, incremental_cuts, Constraints, Cut, EnumContext,
-    PruningConfig,
+    baseline_cuts, basic_cuts, exhaustive_cuts, incremental_cuts, incremental_cuts_with,
+    BodyStrategy, Constraints, Cut, CutKey, EnumContext, PruningConfig,
 };
-use ise_graph::NodeId;
 use ise_workloads::expr::compile_block;
 use ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
 use ise_workloads::random_dag::{random_dag, RandomDagConfig};
 use ise_workloads::tree::{TreeDfgBuilder, TreeOrientation};
 
-type Key = (Vec<NodeId>, Vec<NodeId>);
-
-fn keys(cuts: &[Cut]) -> Vec<Key> {
-    let mut keys: Vec<Key> = cuts.iter().map(Cut::key).collect();
+fn keys(cuts: &[Cut]) -> Vec<CutKey<'_>> {
+    let mut keys: Vec<CutKey<'_>> = cuts.iter().map(Cut::key).collect();
     keys.sort();
     keys
 }
@@ -105,12 +102,43 @@ fn baseline_matches_the_relaxed_oracle_and_covers_the_polynomial_results() {
             "baseline vs relaxed oracle on {name}"
         );
         let poly = incremental_cuts(&ctx, &constraints, &PruningConfig::all());
-        let baseline_keys: HashSet<Key> = baseline.cuts.iter().map(Cut::key).collect();
+        let baseline_keys: HashSet<CutKey<'_>> = baseline.cuts.iter().map(Cut::key).collect();
         for cut in &poly.cuts {
             assert!(
                 baseline_keys.contains(&cut.key()),
                 "cut missing from baseline on {name}: {cut:?}"
             );
+        }
+    }
+}
+
+#[test]
+fn rebuild_strategy_agrees_with_the_incremental_engine() {
+    // The engine's incrementally maintained body and the legacy rebuild-per-CHECK-CUT
+    // pipeline must enumerate exactly the same cuts on every workload shape.
+    for (name, ctx) in small_contexts() {
+        for (nin, nout) in [(3, 1), (4, 2)] {
+            let constraints = Constraints::new(nin, nout).unwrap();
+            let engine = incremental_cuts_with(
+                &ctx,
+                &constraints,
+                &PruningConfig::all(),
+                None,
+                BodyStrategy::Incremental,
+            );
+            let rebuild = incremental_cuts_with(
+                &ctx,
+                &constraints,
+                &PruningConfig::all(),
+                None,
+                BodyStrategy::Rebuild,
+            );
+            assert_eq!(
+                keys(&engine.cuts),
+                keys(&rebuild.cuts),
+                "strategies disagree on {name}, Nin={nin}, Nout={nout}"
+            );
+            assert_eq!(engine.stats.valid_cuts, rebuild.stats.valid_cuts);
         }
     }
 }
@@ -167,7 +195,7 @@ fn connected_only_results_are_a_subset() {
         let connected = free.clone().connected_only(true);
         let all = incremental_cuts(&ctx, &free, &PruningConfig::all());
         let only_connected = incremental_cuts(&ctx, &connected, &PruningConfig::all());
-        let all_keys: HashSet<Key> = all.cuts.iter().map(Cut::key).collect();
+        let all_keys: HashSet<CutKey<'_>> = all.cuts.iter().map(Cut::key).collect();
         assert!(
             only_connected
                 .cuts

@@ -8,9 +8,75 @@ use proptest::prelude::*;
 use ise_dominators::multi::is_generalized_dominator;
 use ise_dominators::{dominators, iterative_dominators, Forward, Reverse};
 use ise_enum::{
-    cone, exhaustive_cuts, incremental_cuts, Constraints, Cut, EnumContext, PruningConfig,
+    cone, exhaustive_cuts, incremental_cuts, incremental_cuts_with, BodyStrategy, Constraints, Cut,
+    CutKey, EnumContext, PruningConfig,
 };
 use ise_graph::{DenseNodeSet, Dfg, NodeId, Operation, Reachability, RootedDfg};
+use ise_workloads::random_dag::{random_dag, RandomDagConfig};
+use ise_workloads::tree::{TreeDfgBuilder, TreeOrientation};
+
+/// Decodes one of the 64 pruning configurations from a 6-bit mask, one bit per §5.3
+/// technique.
+fn pruning_from_mask(mask: u8) -> PruningConfig {
+    PruningConfig {
+        output_output: mask & 0x01 != 0,
+        connectedness: mask & 0x02 != 0,
+        build_s: mask & 0x04 != 0,
+        output_input: mask & 0x08 != 0,
+        input_input: mask & 0x10 != 0,
+        dominator_input: mask & 0x20 != 0,
+    }
+}
+
+fn sorted_keys(cuts: &[Cut]) -> Vec<CutKey<'_>> {
+    let mut keys: Vec<_> = cuts.iter().map(Cut::key).collect();
+    keys.sort();
+    keys
+}
+
+/// Satellite of the engine refactor: on the Figure 4 worst-case trees (both
+/// orientations) and a layered random DAG, the incremental engine must agree with the
+/// brute-force oracle under *every* one of the 64 pruning combinations and under both
+/// body strategies (maintained vs. rebuilt).
+#[test]
+fn every_pruning_combination_matches_the_oracle() {
+    let graphs = vec![
+        TreeDfgBuilder::new(3).build(),
+        TreeDfgBuilder::new(3)
+            .with_orientation(TreeOrientation::FanIn)
+            .build(),
+        random_dag(
+            &RandomDagConfig::new(12)
+                .with_live_ins(3)
+                .with_memory_ratio(0.2),
+            11,
+        ),
+    ];
+    for dfg in graphs {
+        let name = dfg.name().to_string();
+        let ctx = EnumContext::new(dfg);
+        for constraints in [
+            Constraints::new(3, 2).unwrap(),
+            Constraints::new(2, 2).unwrap().connected_only(true),
+        ] {
+            let oracle = exhaustive_cuts(&ctx, &constraints, true);
+            let oracle_keys = sorted_keys(&oracle.cuts);
+            for mask in 0u8..64 {
+                let pruning = pruning_from_mask(mask);
+                for strategy in [BodyStrategy::Incremental, BodyStrategy::Rebuild] {
+                    let run = incremental_cuts_with(&ctx, &constraints, &pruning, None, strategy);
+                    assert_eq!(
+                        sorted_keys(&run.cuts),
+                        oracle_keys,
+                        "graph `{name}`, pruning mask {mask:#08b}, {strategy:?}, \
+                         connected={}",
+                        constraints.is_connected_only()
+                    );
+                }
+            }
+        }
+    }
+}
 
 /// Strategy: a small random DAG described as, for each non-root node, a list of
 /// predecessor indices among the earlier nodes, plus an operation selector.
@@ -68,6 +134,29 @@ proptest! {
         a.sort();
         b.sort();
         prop_assert_eq!(a, b);
+    }
+
+    /// The engine agrees with the oracle on random DAGs under randomly drawn pruning
+    /// combinations and both body strategies.
+    #[test]
+    fn incremental_matches_oracle_under_random_pruning(
+        dfg in small_dag_strategy(),
+        mask in 0u8..64,
+    ) {
+        let ctx = EnumContext::new(dfg);
+        let constraints = Constraints::new(3, 2).unwrap();
+        let oracle = exhaustive_cuts(&ctx, &constraints, true);
+        let pruning = pruning_from_mask(mask);
+        for strategy in [BodyStrategy::Incremental, BodyStrategy::Rebuild] {
+            let run = incremental_cuts_with(&ctx, &constraints, &pruning, None, strategy);
+            prop_assert_eq!(
+                sorted_keys(&run.cuts),
+                sorted_keys(&oracle.cuts),
+                "mask {:#08b}, {:?}",
+                mask,
+                strategy
+            );
+        }
     }
 
     /// Theorem 1: the inputs of every valid single-output cut form a generalized

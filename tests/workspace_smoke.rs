@@ -37,7 +37,7 @@ fn tree_dfg_yields_valid_cuts() {
     }
 }
 
-fn sorted_keys(cuts: &[Cut]) -> Vec<(Vec<ise_graph::NodeId>, Vec<ise_graph::NodeId>)> {
+fn sorted_keys(cuts: &[Cut]) -> Vec<ise_enum::CutKey<'_>> {
     let mut keys: Vec<_> = cuts.iter().map(Cut::key).collect();
     keys.sort();
     keys

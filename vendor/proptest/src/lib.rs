@@ -182,7 +182,7 @@ pub mod collection {
     use crate::test_runner::TestRunner;
     use std::ops::Range;
 
-    /// A length specification for [`vec`]: an exact length or a half-open range.
+    /// A length specification for [`vec()`](fn@vec): an exact length or a half-open range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
