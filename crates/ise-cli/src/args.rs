@@ -1,0 +1,165 @@
+//! `--flag value` command-line parsing for the `ise` subcommands.
+
+use std::collections::HashMap;
+
+use crate::CliError;
+
+/// Parsed `--key value` / `--key=value` flags. Every flag takes a value.
+#[derive(Clone, Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `args`, accepting only flag names listed in `allowed` (without the
+    /// leading `--`). Every flag takes exactly one value, either inline
+    /// (`--key=value`) or as the next argument; a flag followed by another flag is a
+    /// missing value, reported rather than guessed (a forgotten `--out` filename
+    /// must not silently route output into a file named after the next flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on unknown, repeated or value-less flags and on
+    /// positional arguments (the subcommand itself is consumed before flag parsing).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ise_cli::Flags;
+    ///
+    /// let args: Vec<String> = ["--threads", "4", "--corpus=corpus"]
+    ///     .iter()
+    ///     .map(ToString::to_string)
+    ///     .collect();
+    /// let flags = Flags::parse(&args, &["threads", "corpus"]).unwrap();
+    /// assert_eq!(flags.usize("threads", 1).unwrap(), 4);
+    /// assert_eq!(flags.string("corpus", "-"), "corpus");
+    /// assert!(Flags::parse(&args, &["threads"]).is_err(), "corpus not allowed");
+    /// ```
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+        let mut values = HashMap::new();
+        let mut rest = args.iter().peekable();
+        while let Some(arg) = rest.next() {
+            let Some(flag) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{arg}` (flags start with --)"
+                )));
+            };
+            let (key, inline_value) = match flag.split_once('=') {
+                Some((key, value)) => (key, Some(value.to_string())),
+                None => (flag, None),
+            };
+            if !allowed.contains(&key) {
+                return Err(CliError::Usage(format!("unknown flag `--{key}`")));
+            }
+            let value = match inline_value {
+                Some(value) => value,
+                None => match rest.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        rest.next().expect("peeked value exists").clone()
+                    }
+                    _ => {
+                        return Err(CliError::Usage(format!("flag `--{key}` needs a value")));
+                    }
+                },
+            };
+            if values.insert(key.to_string(), value).is_some() {
+                return Err(CliError::Usage(format!("flag `--{key}` given twice")));
+            }
+        }
+        Ok(Flags { values })
+    }
+
+    /// The string flag `key`, or `default` if absent.
+    pub fn string(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// The string flag `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// The `usize` flag `key`, or `default` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] if the value is present but not a number.
+    pub fn usize(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("`--{key}` needs a number, got `{v}`"))),
+        }
+    }
+
+    /// The boolean flag `key` (`--key true` / `--key=false`), or `default` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] if the value is neither `true` nor `false`.
+    pub fn bool(&self, key: &str, default: bool) -> Result<bool, CliError> {
+        match self.values.get(key).map(String::as_str) {
+            None => Ok(default),
+            Some("true") | Some("1") => Ok(true),
+            Some("false") | Some("0") => Ok(false),
+            Some(v) => Err(CliError::Usage(format!(
+                "`--{key}` needs true or false, got `{v}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_separate_and_inline_forms() {
+        let flags = Flags::parse(
+            &argv(&["--threads", "8", "--out=report.json", "--check", "true"]),
+            &["threads", "out", "check"],
+        )
+        .unwrap();
+        assert_eq!(flags.usize("threads", 1).unwrap(), 8);
+        assert_eq!(flags.string("out", "-"), "report.json");
+        assert!(flags.bool("check", false).unwrap());
+        assert_eq!(flags.usize("missing", 3).unwrap(), 3);
+        assert_eq!(flags.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_unknown_repeated_and_positional() {
+        let allowed = &["threads"];
+        assert!(Flags::parse(&argv(&["--bogus", "1"]), allowed).is_err());
+        assert!(Flags::parse(&argv(&["--threads", "1", "--threads", "2"]), allowed).is_err());
+        assert!(Flags::parse(&argv(&["stray"]), allowed).is_err());
+    }
+
+    #[test]
+    fn rejects_flags_without_values() {
+        // A forgotten value must error, not swallow the next flag or default to
+        // "true" (e.g. `--out --md r.md` would otherwise write a file named `true`).
+        let allowed = &["out", "md"];
+        let err = Flags::parse(&argv(&["--out", "--md", "r.md"]), allowed).unwrap_err();
+        assert!(err.to_string().contains("`--out` needs a value"), "{err}");
+        let err = Flags::parse(&argv(&["--out"]), allowed).unwrap_err();
+        assert!(err.to_string().contains("`--out` needs a value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        let flags = Flags::parse(&argv(&["--threads", "lots"]), &["threads"]).unwrap();
+        assert!(flags.usize("threads", 1).is_err());
+        let flags = Flags::parse(&argv(&["--check", "maybe"]), &["check"]).unwrap();
+        assert!(flags.bool("check", false).is_err());
+    }
+}

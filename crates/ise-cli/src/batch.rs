@@ -1,0 +1,243 @@
+//! The sharded batch runner: blocks × worker threads over a shared work queue.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ise_corpus::CorpusBlock;
+use ise_enum::{
+    incremental_cuts_bounded, select_ises, Constraints, EnumContext, Enumeration, PruningConfig,
+    Selection,
+};
+use ise_graph::LatencyModel;
+
+/// Selection settings for `ise select` (enumeration settings live in [`BatchConfig`]).
+#[derive(Clone, Debug)]
+pub struct SelectionConfig {
+    /// Maximum number of custom instructions chosen per block.
+    pub max_instructions: usize,
+    /// Register-file read ports available per cycle for operand transfer.
+    pub ports_in: usize,
+    /// Register-file write ports available per cycle for result transfer.
+    pub ports_out: usize,
+}
+
+/// Configuration of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// The microarchitectural constraints (`Nin`, `Nout`).
+    pub constraints: Constraints,
+    /// The §5.3 pruning techniques to apply (all, for production runs).
+    pub pruning: PruningConfig,
+    /// Optional per-block search budget (`None` = unbounded).
+    pub budget: Option<usize>,
+    /// Number of worker threads; clamped to at least 1.
+    pub threads: usize,
+    /// When set, each block additionally runs the greedy ISE selection.
+    pub select: Option<SelectionConfig>,
+}
+
+impl BatchConfig {
+    /// An unbounded single-threaded enumerate-only configuration.
+    pub fn new(constraints: Constraints) -> Self {
+        BatchConfig {
+            constraints,
+            pruning: PruningConfig::all(),
+            budget: None,
+            threads: 1,
+            select: None,
+        }
+    }
+}
+
+/// What one block produced: the enumeration (and optional selection) plus the block's
+/// structural counts for reporting.
+#[derive(Clone, Debug)]
+pub struct BlockOutcome {
+    /// Position of the block in the loaded corpus (outcomes are returned sorted by
+    /// this, so results are deterministic for any thread count).
+    pub index: usize,
+    /// The block's corpus name.
+    pub name: String,
+    /// Vertex count of the block.
+    pub nodes: usize,
+    /// Edge count of the block.
+    pub edges: usize,
+    /// Forbidden-vertex count of the block (memory operations, calls, user marks).
+    pub forbidden: usize,
+    /// The enumeration result.
+    pub enumeration: Enumeration,
+    /// The greedy selection, when [`BatchConfig::select`] was set.
+    pub selection: Option<Selection>,
+    /// Wall time this block took on its worker (context build included).
+    pub elapsed: Duration,
+}
+
+/// Runs the batch: every block of `blocks` through the engine, sharded across
+/// [`BatchConfig::threads`] workers that pull indices from a shared queue (so a few
+/// large blocks do not serialize behind a static partition).
+///
+/// Each worker owns its per-block [`EnumContext`] and search state — the engine's
+/// `Send` audit guarantees nothing is shared mutably — and enumeration is
+/// deterministic per block, so the outcome (sorted by block index) is identical for
+/// every thread count; only the wall times differ.
+pub fn run_batch(blocks: &[CorpusBlock], config: &BatchConfig) -> Vec<BlockOutcome> {
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..blocks.len()).collect());
+    let results: Mutex<Vec<BlockOutcome>> = Mutex::new(Vec::with_capacity(blocks.len()));
+    let workers = config.threads.max(1).min(blocks.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("work queue poisoned").pop_front();
+                let Some(index) = next else { break };
+                let outcome = process_block(&blocks[index], index, config);
+                results.lock().expect("result sink poisoned").push(outcome);
+            });
+        }
+    });
+    let mut outcomes = results.into_inner().expect("result sink poisoned");
+    outcomes.sort_by_key(|outcome| outcome.index);
+    outcomes
+}
+
+fn process_block(block: &CorpusBlock, index: usize, config: &BatchConfig) -> BlockOutcome {
+    let start = Instant::now();
+    let ctx = EnumContext::new(block.dfg.clone());
+    let enumeration =
+        incremental_cuts_bounded(&ctx, &config.constraints, &config.pruning, config.budget);
+    let selection = config.select.as_ref().map(|sel| {
+        select_ises(
+            &ctx,
+            &enumeration.cuts,
+            &LatencyModel::default(),
+            sel.ports_in,
+            sel.ports_out,
+            sel.max_instructions,
+        )
+    });
+    BlockOutcome {
+        index,
+        name: block.dfg.name().to_string(),
+        nodes: block.dfg.len(),
+        edges: block.dfg.edge_count(),
+        forbidden: block.dfg.forbidden().len(),
+        enumeration,
+        selection,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_enum::run_on_graph;
+    use ise_workloads::random_dag::{random_dag, RandomDagConfig};
+
+    fn small_corpus() -> Vec<CorpusBlock> {
+        [(16usize, 0usize), (24, 10), (32, 20), (36, 15), (28, 5)]
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, mem_pct))| CorpusBlock {
+                dfg: random_dag(
+                    &RandomDagConfig::new(nodes).with_memory_ratio(mem_pct as f64 / 100.0),
+                    90 + i as u64,
+                ),
+                meta: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn config(threads: usize) -> BatchConfig {
+        BatchConfig {
+            threads,
+            ..BatchConfig::new(Constraints::new(4, 2).unwrap())
+        }
+    }
+
+    /// The batch driver must report exactly what a direct engine run reports,
+    /// block for block (the ISSUE's CLI-vs-engine cross-check).
+    #[test]
+    fn batch_outcomes_match_direct_engine_runs() {
+        let blocks = small_corpus();
+        let cfg = config(2);
+        let outcomes = run_batch(&blocks, &cfg);
+        assert_eq!(outcomes.len(), blocks.len());
+        for (outcome, block) in outcomes.iter().zip(&blocks) {
+            let direct = run_on_graph(&block.dfg, &cfg.constraints, &cfg.pruning, None);
+            assert_eq!(outcome.name, block.dfg.name());
+            assert_eq!(
+                outcome.enumeration.cuts.len(),
+                direct.cuts.len(),
+                "cut count differs on {}",
+                outcome.name
+            );
+            assert_eq!(
+                outcome.enumeration.stats.search_nodes, direct.stats.search_nodes,
+                "search trace differs on {}",
+                outcome.name
+            );
+        }
+    }
+
+    /// Thread count must not change results — only wall time (acceptance criterion:
+    /// identical aggregate counts for N=1 and N=8).
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let blocks = small_corpus();
+        let one = run_batch(&blocks, &config(1));
+        for threads in [2, 8] {
+            let many = run_batch(&blocks, &config(threads));
+            assert_eq!(one.len(), many.len());
+            for (a, b) in one.iter().zip(&many) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.enumeration.cuts.len(), b.enumeration.cuts.len());
+                assert_eq!(
+                    a.enumeration.stats.candidates_checked,
+                    b.enumeration.stats.candidates_checked
+                );
+            }
+            let total =
+                |o: &[BlockOutcome]| o.iter().map(|b| b.enumeration.cuts.len()).sum::<usize>();
+            assert_eq!(total(&one), total(&many), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn selection_is_attached_when_requested() {
+        let blocks = small_corpus();
+        let mut cfg = config(2);
+        cfg.select = Some(SelectionConfig {
+            max_instructions: 3,
+            ports_in: 4,
+            ports_out: 2,
+        });
+        let outcomes = run_batch(&blocks, &cfg);
+        assert!(outcomes.iter().all(|o| o.selection.is_some()));
+        assert!(outcomes.iter().any(|o| !o
+            .selection
+            .as_ref()
+            .expect("selection requested")
+            .chosen
+            .is_empty()));
+        for outcome in &outcomes {
+            let sel = outcome.selection.as_ref().expect("selection requested");
+            assert!(sel.chosen.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn budget_bounds_every_block() {
+        let blocks = small_corpus();
+        let mut cfg = config(3);
+        cfg.budget = Some(10);
+        for outcome in run_batch(&blocks, &cfg) {
+            assert!(outcome.enumeration.stats.search_nodes <= 10);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_yields_no_outcomes() {
+        assert!(run_batch(&[], &config(4)).is_empty());
+    }
+}

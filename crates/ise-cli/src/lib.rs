@@ -1,0 +1,351 @@
+//! The `ise` command-line driver: corpus-scale enumeration, selection and reporting.
+//!
+//! This crate turns the single-graph engine of [`ise_enum`] into a batch tool over
+//! serialized corpora (see [`ise_corpus`] for the `.dfg` format). Three subcommands:
+//!
+//! ```text
+//! ise enumerate --corpus corpus/ [--threads N] [--nin 4] [--nout 2]
+//!               [--budget M] [--limit K] [--out FILE|-] [--md FILE|-]
+//! ise select    (same flags) [--max-instr 4] [--ports-in N] [--ports-out N]
+//! ise report    --corpus corpus/ [--limit K]
+//! ```
+//!
+//! `enumerate` runs the incremental polynomial enumeration on every block;
+//! `select` additionally runs the greedy ISE selection per block; `report` prints a
+//! corpus inventory (loading doubles as validation). Blocks are sharded across
+//! `--threads` `std::thread` workers pulling from a shared work queue
+//! ([`batch::run_batch`]); per-block results are deterministic and outcomes are sorted
+//! by corpus order, so **every count in the JSON and markdown output is identical for
+//! any thread count** — only wall times vary. Runs are budgeted per block by default
+//! ([`DEFAULT_BUDGET`] search nodes, `--budget 0` to lift) so one adversarial block
+//! cannot stall a corpus sweep. Machine-readable output is JSON
+//! (schemas `ise-cli/enumerate/v1` and `ise-cli/select/v1`, built on
+//! [`ise_bench::json`]); `--md` adds a human-readable markdown companion. See
+//! `docs/GUIDE.md` for the end-to-end walkthrough.
+//!
+//! # Example
+//!
+//! Drive the batch pipeline as a library (what the binary's `enumerate` does):
+//!
+//! ```
+//! use ise_cli::batch::{run_batch, BatchConfig};
+//! use ise_corpus::{parse_corpus, CorpusBlock};
+//! use ise_enum::Constraints;
+//!
+//! let blocks: Vec<CorpusBlock> = parse_corpus(
+//!     "dfg tiny\nnode 0 in @a\nnode 1 not\nnode 2 add\nedge 0 1\nedge 1 2\nedge 0 2\nend\n",
+//! )
+//! .unwrap();
+//! let mut config = BatchConfig::new(Constraints::new(2, 1).unwrap());
+//! config.threads = 2;
+//! let outcomes = run_batch(&blocks, &config);
+//! assert_eq!(outcomes.len(), 1);
+//! assert!(!outcomes[0].enumeration.cuts.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+pub mod batch;
+pub mod report;
+
+pub use args::Flags;
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use ise_corpus::{load_corpus_path, CorpusError};
+use ise_enum::{Constraints, PruningConfig};
+
+use batch::{run_batch, BatchConfig, SelectionConfig};
+use report::{batch_json, batch_markdown, corpus_markdown, RunMeta};
+
+/// The usage text printed by `ise help` and attached to usage errors.
+pub const USAGE: &str = "\
+usage: ise <enumerate|select|report> [flags]
+
+  ise enumerate --corpus PATH [--threads N] [--nin 4] [--nout 2]
+                [--budget M] [--limit K] [--out FILE|-] [--md FILE|-]
+  ise select    (same flags as enumerate)
+                [--max-instr 4] [--ports-in N] [--ports-out N]
+  ise report    --corpus PATH [--limit K]
+
+PATH is a .dfg file or a directory of .dfg files (default: corpus).
+--out/--md write JSON/markdown to FILE, or to stdout when FILE is `-`.
+--budget caps the search per block in search nodes (default 1000000,
+0 = unbounded); small blocks finish below it and are enumerated fully.";
+
+/// Error surface of the `ise` binary.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line is malformed; the message says how.
+    Usage(String),
+    /// The corpus could not be loaded or did not validate.
+    Corpus(CorpusError),
+    /// Writing an output file failed.
+    Io {
+        /// The output path that could not be written.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(message) => write!(f, "{message}"),
+            CliError::Corpus(source) => write!(f, "{source}"),
+            CliError::Io { path, source } => write!(f, "cannot write {path}: {source}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Corpus(source) => Some(source),
+            CliError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<CorpusError> for CliError {
+    fn from(source: CorpusError) -> Self {
+        CliError::Corpus(source)
+    }
+}
+
+/// Runs one `ise` invocation; `args` excludes the binary name.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed command lines, unreadable/invalid corpora, and
+/// output-file write failures. The binary prints the error and exits non-zero.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage(format!("missing subcommand\n{USAGE}")));
+    };
+    match command.as_str() {
+        "enumerate" => run_batch_command(&args[1..], false),
+        "select" => run_batch_command(&args[1..], true),
+        "report" => run_report_command(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}`\n{USAGE}"
+        ))),
+    }
+}
+
+/// Default per-block search budget, in search nodes (`--budget 0` lifts it).
+///
+/// The enumeration is polynomial but of high degree (`O(n^(Nin+Nout+1))`): the
+/// committed `BENCH_scaling.json` measures ~1.2e8 search nodes (two minutes) for one
+/// 208-vertex block at the paper's standard `Nin=4, Nout=2`. A batch driver pointed
+/// at an arbitrary corpus must not stall on one adversarial block, so runs are
+/// budgeted by default — one million search nodes keeps every committed corpus block
+/// to seconds while leaving small and medium blocks exhaustively enumerated.
+/// The budget is applied per block and enumeration is deterministic, so budgeted
+/// counts are still identical across thread counts.
+pub const DEFAULT_BUDGET: usize = 1_000_000;
+
+const BATCH_FLAGS: &[&str] = &[
+    "corpus", "threads", "nin", "nout", "budget", "limit", "out", "md",
+];
+const SELECT_FLAGS: &[&str] = &[
+    "corpus",
+    "threads",
+    "nin",
+    "nout",
+    "budget",
+    "limit",
+    "out",
+    "md",
+    "max-instr",
+    "ports-in",
+    "ports-out",
+];
+
+fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
+    let allowed = if select { SELECT_FLAGS } else { BATCH_FLAGS };
+    let flags = Flags::parse(args, allowed)?;
+    let corpus = flags.string("corpus", "corpus");
+    let nin = flags.usize("nin", 4)?;
+    let nout = flags.usize("nout", 2)?;
+    let constraints =
+        Constraints::new(nin, nout).map_err(|e| CliError::Usage(format!("--nin/--nout: {e}")))?;
+    let threads = flags.usize("threads", 1)?;
+    let budget = match flags.usize("budget", DEFAULT_BUDGET)? {
+        0 => None,
+        limit => Some(limit),
+    };
+    let selection = if select {
+        Some(SelectionConfig {
+            max_instructions: flags.usize("max-instr", 4)?,
+            ports_in: flags.usize("ports-in", nin)?,
+            ports_out: flags.usize("ports-out", nout)?,
+        })
+    } else {
+        None
+    };
+
+    let blocks = load_blocks(&corpus, &flags)?;
+    let config = BatchConfig {
+        constraints,
+        pruning: PruningConfig::all(),
+        budget,
+        threads,
+        select: selection,
+    };
+    let start = Instant::now();
+    let outcomes = run_batch(&blocks, &config);
+    let meta = RunMeta {
+        corpus,
+        nin,
+        nout,
+        threads,
+        budget,
+        select,
+        elapsed: start.elapsed(),
+    };
+
+    emit(
+        &flags.string("out", "-"),
+        &(batch_json(&outcomes, &meta).render() + "\n"),
+    )?;
+    if let Some(md) = flags.get("md") {
+        emit(md, &batch_markdown(&outcomes, &meta))?;
+    }
+    Ok(())
+}
+
+fn run_report_command(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["corpus", "limit"])?;
+    let corpus = flags.string("corpus", "corpus");
+    let blocks = load_blocks(&corpus, &flags)?;
+    print!("{}", corpus_markdown(&corpus, &blocks));
+    Ok(())
+}
+
+fn load_blocks(corpus: &str, flags: &Flags) -> Result<Vec<ise_corpus::CorpusBlock>, CliError> {
+    let mut blocks = load_corpus_path(corpus)?;
+    if flags.get("limit").is_some() {
+        let limit = flags.usize("limit", blocks.len())?;
+        blocks.truncate(limit);
+    }
+    Ok(blocks)
+}
+
+fn emit(target: &str, contents: &str) -> Result<(), CliError> {
+    if target == "-" {
+        print!("{contents}");
+        Ok(())
+    } else {
+        std::fs::write(target, contents).map_err(|source| CliError::Io {
+            path: target.to_string(),
+            source,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    fn demo_corpus(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ise-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("a.dfg"),
+            "dfg alpha\nnode 0 in @a\nnode 1 not\nnode 2 shl\nedge 0 1\nedge 1 2\nend\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("b.dfg"),
+            "dfg beta\nnode 0 in @p\nnode 1 in @q\nnode 2 add\nnode 3 mul\n\
+             edge 0 2\nedge 1 2\nedge 2 3\nedge 1 3\noutput 2\nend\n",
+        )
+        .unwrap();
+        dir
+    }
+
+    #[test]
+    fn enumerate_writes_json_and_markdown_files() {
+        let dir = demo_corpus("enum");
+        let out = dir.join("r.json");
+        let md = dir.join("r.md");
+        run(&argv(&[
+            "enumerate",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+            "--md",
+            md.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains(r#""schema":"ise-cli/enumerate/v1""#));
+        assert!(json.contains(r#""name":"alpha""#) && json.contains(r#""name":"beta""#));
+        let markdown = std::fs::read_to_string(&md).unwrap();
+        assert!(markdown.contains("| alpha |") && markdown.contains("| beta |"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn select_and_limit_are_honoured() {
+        let dir = demo_corpus("select");
+        let out = dir.join("s.json");
+        run(&argv(&[
+            "select",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--limit",
+            "1",
+            "--max-instr",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains(r#""schema":"ise-cli/select/v1""#));
+        assert!(json.contains(r#""name":"alpha""#), "{json}");
+        assert!(!json.contains(r#""name":"beta""#), "limit ignored: {json}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(run(&argv(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&argv(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["enumerate", "--bogus", "1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["enumerate", "--corpus", "/nonexistent-ise-corpus"])),
+            Err(CliError::Corpus(_))
+        ));
+        let err = run(&argv(&["enumerate", "--corpus", "x", "--nin", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--nin"), "{err}");
+    }
+}

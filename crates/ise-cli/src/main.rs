@@ -1,0 +1,14 @@
+//! The `ise` binary: thin dispatch over [`ise_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ise_cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("ise: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! JSON and markdown rendering of batch outcomes.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use ise_bench::json::Json;
+use ise_corpus::CorpusBlock;
+
+use crate::batch::BlockOutcome;
+
+/// Run-level facts recorded alongside the per-block rows.
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// The corpus path as given on the command line.
+    pub corpus: String,
+    /// The input-port constraint `Nin`.
+    pub nin: usize,
+    /// The output-port constraint `Nout`.
+    pub nout: usize,
+    /// Worker-thread count of the run.
+    pub threads: usize,
+    /// Per-block search budget, if any.
+    pub budget: Option<usize>,
+    /// Whether this was an `ise select` run. Carried explicitly so the schema and
+    /// selection aggregates stay correct even for runs over zero blocks.
+    pub select: bool,
+    /// Wall time of the whole batch (not the sum of per-block times).
+    pub elapsed: Duration,
+}
+
+/// Renders the machine-readable result of `ise enumerate` / `ise select`
+/// (schema `ise-cli/enumerate/v1` / `ise-cli/select/v1`).
+///
+/// Everything except the wall times is deterministic in the corpus and the
+/// constraints — per-block rows are in corpus order and the aggregate counts are
+/// plain sums — so diffing two runs' JSON (ignoring `*_seconds`) detects any
+/// behavioral drift, and aggregate counts are identical for every `--threads` value.
+pub fn batch_json(outcomes: &[BlockOutcome], meta: &RunMeta) -> Json {
+    let selecting = meta.select;
+    let schema = if selecting {
+        "ise-cli/select/v1"
+    } else {
+        "ise-cli/enumerate/v1"
+    };
+    let rows: Vec<Json> = outcomes.iter().map(block_row).collect();
+
+    let total_cuts: usize = outcomes.iter().map(|o| o.enumeration.cuts.len()).sum();
+    let total_search: usize = outcomes
+        .iter()
+        .map(|o| o.enumeration.stats.search_nodes)
+        .sum();
+    let total_candidates: usize = outcomes
+        .iter()
+        .map(|o| o.enumeration.stats.candidates_checked)
+        .sum();
+    let mut aggregate = vec![
+        ("blocks", Json::uint(outcomes.len())),
+        ("total_cuts", Json::uint(total_cuts)),
+        ("total_search_nodes", Json::uint(total_search)),
+        ("total_candidates_checked", Json::uint(total_candidates)),
+        ("elapsed_seconds", Json::num(meta.elapsed.as_secs_f64())),
+    ];
+    if selecting {
+        let selected: usize = outcomes
+            .iter()
+            .filter_map(|o| o.selection.as_ref())
+            .map(|s| s.chosen.len())
+            .sum();
+        let saved: u64 = outcomes
+            .iter()
+            .filter_map(|o| o.selection.as_ref())
+            .map(|s| u64::from(s.total_saved_cycles))
+            .sum();
+        aggregate.push(("total_selected", Json::uint(selected)));
+        aggregate.push(("total_saved_cycles", Json::UInt(saved)));
+    }
+
+    Json::object([
+        ("schema", Json::str(schema)),
+        ("corpus", Json::str(meta.corpus.clone())),
+        ("nin", Json::uint(meta.nin)),
+        ("nout", Json::uint(meta.nout)),
+        ("threads", Json::uint(meta.threads)),
+        ("budget", meta.budget.map_or(Json::Null, Json::uint)),
+        ("blocks", Json::Array(rows)),
+        ("aggregate", Json::object(aggregate)),
+    ])
+}
+
+fn block_row(outcome: &BlockOutcome) -> Json {
+    let stats = &outcome.enumeration.stats;
+    let mut row = vec![
+        ("name", Json::str(outcome.name.clone())),
+        ("nodes", Json::uint(outcome.nodes)),
+        ("edges", Json::uint(outcome.edges)),
+        ("forbidden", Json::uint(outcome.forbidden)),
+        ("cuts", Json::uint(outcome.enumeration.cuts.len())),
+        ("search_nodes", Json::uint(stats.search_nodes)),
+        ("candidates_checked", Json::uint(stats.candidates_checked)),
+        ("elapsed_seconds", Json::num(outcome.elapsed.as_secs_f64())),
+    ];
+    if let Some(selection) = &outcome.selection {
+        row.push((
+            "selection",
+            Json::object([
+                ("chosen", Json::uint(selection.chosen.len())),
+                (
+                    "saved_cycles",
+                    Json::uint(selection.total_saved_cycles as usize),
+                ),
+                (
+                    "block_software_cycles",
+                    Json::uint(selection.block_software_cycles as usize),
+                ),
+                ("block_speedup", Json::num(selection.block_speedup())),
+            ]),
+        ));
+    }
+    Json::object(row)
+}
+
+/// Renders the human-readable markdown companion of [`batch_json`].
+pub fn batch_markdown(outcomes: &[BlockOutcome], meta: &RunMeta) -> String {
+    let selecting = meta.select;
+    let mut out = String::new();
+    let title = if selecting {
+        "ISE batch selection report"
+    } else {
+        "ISE batch enumeration report"
+    };
+    writeln!(out, "# {title}\n").expect("writing to a String cannot fail");
+    writeln!(
+        out,
+        "Corpus `{}` — {} blocks, Nin={}, Nout={}, {} thread{}, {:.3}s wall time.{}\n",
+        meta.corpus,
+        outcomes.len(),
+        meta.nin,
+        meta.nout,
+        meta.threads,
+        if meta.threads == 1 { "" } else { "s" },
+        meta.elapsed.as_secs_f64(),
+        meta.budget
+            .map(|b| format!(" Per-block search budget: {b} nodes."))
+            .unwrap_or_default(),
+    )
+    .expect("writing to a String cannot fail");
+
+    if selecting {
+        out.push_str(
+            "| block | nodes | forbidden | cuts | selected | saved cycles | speedup | time (s) |\n\
+             |---|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+    } else {
+        out.push_str(
+            "| block | nodes | edges | forbidden | cuts | search nodes | time (s) |\n\
+             |---|---:|---:|---:|---:|---:|---:|\n",
+        );
+    }
+    for o in outcomes {
+        if let Some(sel) = &o.selection {
+            writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {:.2}x | {:.3} |",
+                o.name,
+                o.nodes,
+                o.forbidden,
+                o.enumeration.cuts.len(),
+                sel.chosen.len(),
+                sel.total_saved_cycles,
+                sel.block_speedup(),
+                o.elapsed.as_secs_f64(),
+            )
+            .expect("writing to a String cannot fail");
+        } else {
+            writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {:.3} |",
+                o.name,
+                o.nodes,
+                o.edges,
+                o.forbidden,
+                o.enumeration.cuts.len(),
+                o.enumeration.stats.search_nodes,
+                o.elapsed.as_secs_f64(),
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+
+    let total_cuts: usize = outcomes.iter().map(|o| o.enumeration.cuts.len()).sum();
+    let total_search: usize = outcomes
+        .iter()
+        .map(|o| o.enumeration.stats.search_nodes)
+        .sum();
+    writeln!(
+        out,
+        "\n**Aggregate**: {total_cuts} cuts over {} blocks ({total_search} search nodes).",
+        outcomes.len(),
+    )
+    .expect("writing to a String cannot fail");
+    if selecting {
+        let selected: usize = outcomes
+            .iter()
+            .filter_map(|o| o.selection.as_ref())
+            .map(|s| s.chosen.len())
+            .sum();
+        let saved: u64 = outcomes
+            .iter()
+            .filter_map(|o| o.selection.as_ref())
+            .map(|s| u64::from(s.total_saved_cycles))
+            .sum();
+        writeln!(
+            out,
+            "**Selected**: {selected} custom instructions, {saved} cycles saved per full-corpus execution.",
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Renders the `ise report` corpus inventory: one row per block with its family,
+/// structural counts, and I/O shape — corpus validation happens as a side effect of
+/// loading.
+pub fn corpus_markdown(corpus: &str, blocks: &[CorpusBlock]) -> String {
+    let mut out = String::new();
+    writeln!(out, "# Corpus report\n").expect("writing to a String cannot fail");
+    writeln!(
+        out,
+        "Corpus `{corpus}` — {} blocks, {} vertices total.\n",
+        blocks.len(),
+        blocks.iter().map(|b| b.dfg.len()).sum::<usize>(),
+    )
+    .expect("writing to a String cannot fail");
+    out.push_str(
+        "| block | family | nodes | edges | live-ins | live-outs | forbidden |\n\
+         |---|---|---:|---:|---:|---:|---:|\n",
+    );
+    for block in blocks {
+        let family = block
+            .meta
+            .iter()
+            .find(|(k, _)| k == "family")
+            .map_or("-", |(_, v)| v.as_str());
+        writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            block.dfg.name(),
+            family,
+            block.dfg.len(),
+            block.dfg.edge_count(),
+            block.dfg.external_inputs().len(),
+            block.dfg.external_outputs().len(),
+            block.dfg.forbidden().len(),
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{run_batch, BatchConfig, SelectionConfig};
+    use ise_enum::Constraints;
+    use ise_workloads::random_dag::{random_dag, RandomDagConfig};
+
+    fn outcomes(select: bool) -> (Vec<BlockOutcome>, RunMeta) {
+        let blocks: Vec<CorpusBlock> = (0..2)
+            .map(|i| CorpusBlock {
+                dfg: random_dag(&RandomDagConfig::new(25), i),
+                meta: vec![("family".into(), "random-dag".into())],
+            })
+            .collect();
+        let mut cfg = BatchConfig::new(Constraints::new(4, 2).unwrap());
+        if select {
+            cfg.select = Some(SelectionConfig {
+                max_instructions: 2,
+                ports_in: 4,
+                ports_out: 2,
+            });
+        }
+        let outcomes = run_batch(&blocks, &cfg);
+        let meta = RunMeta {
+            corpus: "test".into(),
+            nin: 4,
+            nout: 2,
+            threads: 1,
+            budget: None,
+            select,
+            elapsed: Duration::from_millis(5),
+        };
+        (outcomes, meta)
+    }
+
+    #[test]
+    fn enumerate_json_has_schema_rows_and_aggregate() {
+        let (outcomes, meta) = outcomes(false);
+        let text = batch_json(&outcomes, &meta).render();
+        assert!(
+            text.contains(r#""schema":"ise-cli/enumerate/v1""#),
+            "{text}"
+        );
+        assert!(text.contains(r#""blocks":[{"name":"random-dag-25-0""#));
+        assert!(text.contains(r#""aggregate":{"blocks":2,"total_cuts":"#));
+        assert!(!text.contains("selection"));
+    }
+
+    #[test]
+    fn select_json_adds_selection_fields() {
+        let (outcomes, meta) = outcomes(true);
+        let text = batch_json(&outcomes, &meta).render();
+        assert!(text.contains(r#""schema":"ise-cli/select/v1""#));
+        assert!(text.contains(r#""selection":{"chosen":"#));
+        assert!(text.contains(r#""total_selected":"#));
+    }
+
+    #[test]
+    fn select_schema_is_mode_derived_even_with_no_outcomes() {
+        let meta = RunMeta {
+            corpus: "empty".into(),
+            nin: 4,
+            nout: 2,
+            threads: 1,
+            budget: None,
+            select: true,
+            elapsed: Duration::from_millis(1),
+        };
+        let text = batch_json(&[], &meta).render();
+        assert!(text.contains(r#""schema":"ise-cli/select/v1""#), "{text}");
+        assert!(text.contains(r#""total_selected":0"#), "{text}");
+        assert!(batch_markdown(&[], &meta).starts_with("# ISE batch selection report"));
+    }
+
+    #[test]
+    fn markdown_reports_render_tables() {
+        let (outcomes, meta) = outcomes(false);
+        let md = batch_markdown(&outcomes, &meta);
+        assert!(md.starts_with("# ISE batch enumeration report"));
+        assert!(md.contains("| block | nodes | edges |"));
+        assert!(md.contains("**Aggregate**"));
+
+        let (outcomes, meta) = outcomes_select();
+        let md = batch_markdown(&outcomes, &meta);
+        assert!(md.starts_with("# ISE batch selection report"));
+        assert!(md.contains("| block | nodes | forbidden | cuts | selected |"));
+        assert!(md.contains("**Selected**"));
+    }
+
+    fn outcomes_select() -> (Vec<BlockOutcome>, RunMeta) {
+        outcomes(true)
+    }
+
+    #[test]
+    fn corpus_markdown_lists_every_block() {
+        let (outcomes, _) = outcomes(false);
+        let blocks: Vec<CorpusBlock> = (0..2)
+            .map(|i| CorpusBlock {
+                dfg: random_dag(&RandomDagConfig::new(25), i),
+                meta: vec![("family".into(), "random-dag".into())],
+            })
+            .collect();
+        let md = corpus_markdown("corpus", &blocks);
+        assert!(md.contains("# Corpus report"));
+        assert!(md.contains("| random-dag-25-0 | random-dag | 33 |"));
+        assert_eq!(md.matches("| random-dag-25-").count(), outcomes.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Regenerates (or verifies) the committed `corpus/` directory from the standard
+//! export.
+//!
+//! ```sh
+//! cargo run -p ise-corpus --bin corpus-gen                  # rewrite corpus/
+//! cargo run -p ise-corpus --bin corpus-gen -- --check       # verify, fail on drift
+//! cargo run -p ise-corpus --bin corpus-gen -- --out DIR --seed N
+//! ```
+//!
+//! One block per file, named `<block-name>.dfg`; file contents are canonical writer
+//! output, so `--check` is a byte-for-byte comparison and any format or generator
+//! drift fails CI loudly.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ise_corpus::{standard_corpus, write_block, CorpusBlock, FORMAT_HEADER};
+
+fn file_contents(block: &CorpusBlock) -> String {
+    format!("{FORMAT_HEADER}\n{}", write_block(block))
+}
+
+fn expected_files(seed: u64) -> Vec<(String, String)> {
+    standard_corpus(seed)
+        .iter()
+        .map(|block| (format!("{}.dfg", block.dfg.name()), file_contents(block)))
+        .collect()
+}
+
+fn committed_dfg_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for entry in dir.read_dir()? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|ext| ext == "dfg") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn check(dir: &Path, seed: u64) -> Result<usize, String> {
+    let expected = expected_files(seed);
+    let mut drift = Vec::new();
+    for (name, contents) in &expected {
+        let path = dir.join(name);
+        match std::fs::read_to_string(&path) {
+            Ok(committed) if committed == *contents => {}
+            Ok(_) => drift.push(format!("{}: contents differ", path.display())),
+            Err(e) => drift.push(format!("{}: {e}", path.display())),
+        }
+    }
+    let known: Vec<&String> = expected.iter().map(|(name, _)| name).collect();
+    for path in committed_dfg_files(dir).map_err(|e| format!("{}: {e}", dir.display()))? {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if !known.contains(&&name) {
+            drift.push(format!(
+                "{}: not part of the standard corpus",
+                path.display()
+            ));
+        }
+    }
+    if drift.is_empty() {
+        Ok(expected.len())
+    } else {
+        Err(drift.join("\n"))
+    }
+}
+
+fn regenerate(dir: &Path, seed: u64) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let expected = expected_files(seed);
+    for (name, contents) in &expected {
+        std::fs::write(dir.join(name), contents)?;
+    }
+    // Drop stale .dfg files so the directory stays canonical.
+    let known: Vec<&String> = expected.iter().map(|(name, _)| name).collect();
+    for path in committed_dfg_files(dir)? {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if !known.contains(&&name) {
+            eprintln!("removing stale {}", path.display());
+            std::fs::remove_file(&path)?;
+        }
+    }
+    Ok(expected.len())
+}
+
+fn main() -> ExitCode {
+    let mut out = PathBuf::from("corpus");
+    let mut seed = 42u64;
+    let mut check_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check_only = true,
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => return usage("--out needs a directory"),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage("--seed needs an integer"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if check_only {
+        match check(&out, seed) {
+            Ok(count) => {
+                println!(
+                    "{}: {count} blocks match the standard corpus",
+                    out.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(drift) => {
+                eprintln!("corpus drift detected:\n{drift}");
+                eprintln!("regenerate with: cargo run -p ise-corpus --bin corpus-gen");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match regenerate(&out, seed) {
+            Ok(count) => {
+                println!("wrote {count} blocks to {}", out.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", out.display());
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("corpus-gen: {problem}");
+    eprintln!("usage: corpus-gen [--check] [--out DIR] [--seed N]");
+    ExitCode::FAILURE
+}

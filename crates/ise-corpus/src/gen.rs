@@ -1,0 +1,67 @@
+//! The standard corpus generator: `ise-workloads` families serialized as blocks.
+
+use ise_workloads::export::standard_export;
+
+use crate::CorpusBlock;
+
+/// Generates the standard corpus — the committed `corpus/` directory — from the
+/// [`ise_workloads::export::standard_export`] hook, deterministically in `seed`.
+///
+/// Each block carries `family` (and the generator's provenance entries) plus a `nodes`
+/// count in its metadata, so corpus reports can be produced without touching the
+/// graphs. The committed directory uses seed 42; the `corpus-gen` binary regenerates
+/// it (`cargo run -p ise-corpus --bin corpus-gen`) and CI verifies the files are
+/// byte-identical to what this function produces.
+///
+/// # Example
+///
+/// ```
+/// let corpus = ise_corpus::standard_corpus(42);
+/// assert!(corpus.len() >= 20);
+/// assert!(corpus.iter().all(|b| b.meta.iter().any(|(k, _)| k == "family")));
+/// ```
+pub fn standard_corpus(seed: u64) -> Vec<CorpusBlock> {
+    standard_export(seed)
+        .into_iter()
+        .map(|export| {
+            let mut meta = vec![
+                ("family".to_string(), export.family.to_string()),
+                ("nodes".to_string(), export.dfg.len().to_string()),
+            ];
+            meta.extend(export.meta);
+            CorpusBlock {
+                dfg: export.dfg,
+                meta,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dfg_eq, parse_corpus, write_block};
+
+    #[test]
+    fn standard_corpus_round_trips_through_the_format() {
+        for block in standard_corpus(7) {
+            let text = write_block(&block);
+            let reparsed = parse_corpus(&text)
+                .unwrap_or_else(|e| panic!("{} does not re-parse: {e}", block.dfg.name()));
+            assert_eq!(reparsed.len(), 1);
+            assert!(
+                dfg_eq(&block.dfg, &reparsed[0].dfg),
+                "{} does not round-trip",
+                block.dfg.name()
+            );
+            assert_eq!(block.meta, reparsed[0].meta);
+        }
+    }
+
+    #[test]
+    fn standard_corpus_is_deterministic_text() {
+        let a: Vec<String> = standard_corpus(42).iter().map(write_block).collect();
+        let b: Vec<String> = standard_corpus(42).iter().map(write_block).collect();
+        assert_eq!(a, b);
+    }
+}

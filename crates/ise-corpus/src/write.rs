@@ -1,0 +1,218 @@
+//! The `.dfg` writer.
+
+use std::fmt::Write as _;
+
+use crate::CorpusBlock;
+
+/// The format-version header comment emitted at the top of every serialized corpus
+/// file (one shared definition, so a version bump cannot drift between the corpus
+/// generator and [`write_corpus`]).
+pub const FORMAT_HEADER: &str = "# ise-dfg v1";
+
+/// Serializes one block into the `.dfg` text format.
+///
+/// The output is canonical: nodes in id order, each node's incoming edges in operand
+/// order (so that operand order survives a round trip), then outputs and explicit
+/// `forbid` marks in ascending id order. Memory/call operations are forbidden by
+/// definition and get no `forbid` line. [`crate::parse_corpus`] ∘ `write_block` is the
+/// identity on the graph (see [`crate::dfg_eq`]), and re-serializing the parse result
+/// reproduces the text byte for byte — which is how CI detects corpus drift.
+///
+/// # Panics
+///
+/// Panics if the block is not representable in the line-oriented format — the same
+/// contract violation style as the graph builders: a block or meta-key name that is
+/// empty or contains whitespace, or a meta value or `@` node name that spans lines or
+/// carries leading/trailing whitespace (the parser trims lines, so such data could
+/// not round-trip — or worse, an embedded newline would inject directives).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_corpus::{parse_corpus, write_block};
+///
+/// let text = "dfg t\nnode 0 in @a\nnode 1 not\nedge 0 1\noutput 1\nend\n";
+/// let block = parse_corpus(text)?.remove(0);
+/// assert_eq!(write_block(&block), text);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_block(block: &CorpusBlock) -> String {
+    let dfg = &block.dfg;
+    let mut out = String::new();
+    check_token("block name", dfg.name());
+    writeln!(out, "dfg {}", dfg.name()).expect("writing to a String cannot fail");
+    for (key, value) in &block.meta {
+        check_token("meta key", key);
+        check_line("meta value", value);
+        if value.is_empty() {
+            writeln!(out, "meta {key}").expect("writing to a String cannot fail")
+        } else {
+            writeln!(out, "meta {key} {value}").expect("writing to a String cannot fail")
+        }
+    }
+    for v in dfg.node_ids() {
+        match dfg.node(v).name() {
+            Some(name) => {
+                check_line("node name", name);
+                writeln!(out, "node {} {} @{name}", v.index(), dfg.op(v))
+            }
+            None => writeln!(out, "node {} {}", v.index(), dfg.op(v)),
+        }
+        .expect("writing to a String cannot fail");
+    }
+    for v in dfg.node_ids() {
+        for &p in dfg.preds(v) {
+            writeln!(out, "edge {} {}", p.index(), v.index())
+                .expect("writing to a String cannot fail");
+        }
+    }
+    for &o in dfg.external_outputs() {
+        writeln!(out, "output {}", o.index()).expect("writing to a String cannot fail");
+    }
+    for f in dfg.forbidden().iter() {
+        if !dfg.op(f).is_default_forbidden() {
+            writeln!(out, "forbid {}", f.index()).expect("writing to a String cannot fail");
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// A single whitespace-free word: block names and meta keys.
+fn check_token(what: &str, value: &str) {
+    assert!(
+        !value.is_empty() && !value.contains(char::is_whitespace),
+        "{what} {value:?} is not serializable: it must be a non-empty, \
+         whitespace-free token"
+    );
+}
+
+/// Free-form text that runs to the end of its line: meta values and `@` node names.
+/// The parser trims every line, so leading/trailing whitespace could not round-trip,
+/// and an embedded line break would inject directives into the output.
+fn check_line(what: &str, value: &str) {
+    assert!(
+        !value.contains(['\n', '\r']) && value.trim() == value,
+        "{what} {value:?} is not serializable: it must be a single line without \
+         leading or trailing whitespace"
+    );
+}
+
+/// Serializes a whole corpus: [`write_block`] per block, separated by blank lines,
+/// under a format-version header comment.
+pub fn write_corpus(blocks: &[CorpusBlock]) -> String {
+    let mut out = format!("{FORMAT_HEADER}\n");
+    for block in blocks {
+        out.push('\n');
+        out.push_str(&write_block(block));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_corpus;
+    use ise_graph::{DfgBuilder, Operation};
+
+    #[test]
+    fn writer_output_is_canonical_and_reparses() {
+        let mut b = DfgBuilder::new("w");
+        let a = b.input("a");
+        let c = b.constant("4");
+        let s = b.named_node(Operation::Shl, &[a, c], Some("a<<4"));
+        let l = b.node(Operation::Load, &[s]);
+        let r = b.node(Operation::Add, &[l, a]);
+        b.mark_output(s);
+        b.mark_forbidden(r);
+        let block = CorpusBlock {
+            dfg: b.build().unwrap(),
+            meta: vec![("family".into(), "test".into()), ("note".into(), "".into())],
+        };
+        let text = write_block(&block);
+        // The load is default-forbidden: no forbid line for it, one for the add.
+        assert!(text.contains("node 3 load"));
+        assert!(!text.contains("forbid 3"));
+        assert!(text.contains("forbid 4"));
+        assert!(text.contains("meta note\n"), "empty meta value");
+        let reparsed = parse_corpus(&text).unwrap();
+        assert_eq!(reparsed.len(), 1);
+        assert!(crate::dfg_eq(&block.dfg, &reparsed[0].dfg));
+        assert_eq!(block.meta, reparsed[0].meta);
+        // Canonical: serializing the parse result is byte-identical.
+        assert_eq!(write_block(&reparsed[0]), text);
+    }
+
+    #[test]
+    #[should_panic(expected = "block name")]
+    fn block_names_with_whitespace_are_rejected() {
+        let mut b = DfgBuilder::new("two words");
+        let _ = b.input("a");
+        let block = CorpusBlock {
+            dfg: b.build().unwrap(),
+            meta: Vec::new(),
+        };
+        let _ = write_block(&block);
+    }
+
+    #[test]
+    #[should_panic(expected = "node name")]
+    fn node_names_spanning_lines_are_rejected() {
+        let mut b = DfgBuilder::new("x");
+        let _ = b.input("evil\nforbid 0");
+        let block = CorpusBlock {
+            dfg: b.build().unwrap(),
+            meta: Vec::new(),
+        };
+        let _ = write_block(&block);
+    }
+
+    #[test]
+    #[should_panic(expected = "meta value")]
+    fn meta_values_with_trailing_whitespace_are_rejected() {
+        let mut b = DfgBuilder::new("x");
+        let _ = b.input("a");
+        let block = CorpusBlock {
+            dfg: b.build().unwrap(),
+            meta: vec![("k".into(), "padded ".into())],
+        };
+        let _ = write_block(&block);
+    }
+
+    #[test]
+    fn parsed_names_are_always_rewritable() {
+        // The parser trims `@` names, so whatever it accepts serializes again.
+        let text = "dfg t\nnode 0 in @  spaced name  \nend\n";
+        let block = parse_corpus(text).unwrap().remove(0);
+        assert_eq!(
+            block.dfg.node(ise_graph::NodeId::new(0)).name(),
+            Some("spaced name")
+        );
+        let rewritten = write_block(&block);
+        assert!(rewritten.contains("node 0 in @spaced name\n"));
+        assert!(crate::dfg_eq(
+            &block.dfg,
+            &parse_corpus(&rewritten).unwrap()[0].dfg
+        ));
+    }
+
+    #[test]
+    fn corpus_writer_separates_blocks() {
+        let block = |name: &str| {
+            let mut b = DfgBuilder::new(name);
+            let a = b.input("a");
+            let _ = b.node(Operation::Not, &[a]);
+            CorpusBlock {
+                dfg: b.build().unwrap(),
+                meta: Vec::new(),
+            }
+        };
+        let text = write_corpus(&[block("one"), block("two")]);
+        assert!(text.starts_with("# ise-dfg v1\n\ndfg one\n"));
+        let blocks = parse_corpus(&text).unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[1].dfg.name(), "two");
+    }
+}

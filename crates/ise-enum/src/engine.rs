@@ -33,6 +33,13 @@
 //! backward-closure membership the legacy `cone()` recomputed from scratch, so the two
 //! strategies report identical cuts (the property tests cross-check them against the
 //! brute-force oracle under all 64 pruning combinations).
+//!
+//! **Threading.** A [`SearchState`] (and everything it owns) is `Send`, and the
+//! read-only inputs ([`EnumContext`], [`Constraints`]) are `Sync`; batch drivers such
+//! as the `ise` CLI exploit this by giving each worker thread its own state over its
+//! own block. Nothing here is `Sync`-shareable mid-run by design — a run owns its
+//! mutable arena exclusively. The `search_state_and_friends_are_send` test pins this
+//! contract at compile time.
 
 use ise_graph::{DenseNodeSet, NodeId};
 
@@ -767,6 +774,24 @@ mod tests {
             assert_eq!(fk, sk, "Nin={nin} Nout={nout}");
             assert_eq!(fast.stats.valid_cuts, slow.stats.valid_cuts);
         }
+    }
+
+    /// `Send` audit: batch drivers (the `ise` CLI) shard blocks across worker threads,
+    /// each owning its context and search state. Everything the engine touches must
+    /// therefore be `Send` (and the shared read-only inputs `Sync`); this is a
+    /// compile-time assertion, so any future `Rc`/raw-pointer regression fails here.
+    #[test]
+    fn search_state_and_friends_are_send() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<SearchState<'_>>();
+        assert_send::<EnumContext>();
+        assert_send::<Enumeration>();
+        assert_send::<Cut>();
+        assert_send::<CutKeySet>();
+        assert_sync::<EnumContext>();
+        assert_sync::<ise_graph::Dfg>();
+        assert_sync::<Constraints>();
     }
 
     #[test]

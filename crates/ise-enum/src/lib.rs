@@ -125,6 +125,53 @@ pub fn enumerate_cuts(dfg: &Dfg, constraints: &Constraints) -> Result<Enumeratio
     Ok(incremental_cuts(&ctx, constraints, &PruningConfig::all()))
 }
 
+/// Runs the incremental polynomial enumeration on one graph with explicit pruning and
+/// budget settings — the entry point for batch drivers (the `ise` CLI, regression
+/// harnesses) that process many independent blocks and do not reuse an
+/// [`EnumContext`] across runs.
+///
+/// The context is built internally and dropped; pass `max_search_nodes` to bound the
+/// search on adversarial blocks (the run reports whatever it found within the budget,
+/// see [`EnumStats::search_nodes`]). Everything involved is `Send`, so calls on
+/// different graphs can run on different threads with no shared state (the engine's
+/// `SearchState` is audited for this; see the `engine` module).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_enum::{run_on_graph, Constraints, PruningConfig};
+/// use ise_graph::{DfgBuilder, Operation};
+///
+/// let mut b = DfgBuilder::new("mac");
+/// let a = b.input("a");
+/// let x = b.input("x");
+/// let acc = b.input("acc");
+/// let mul = b.node(Operation::Mul, &[a, x]);
+/// let sum = b.node(Operation::Add, &[mul, acc]);
+/// b.mark_output(sum);
+/// let dfg = b.build()?;
+///
+/// let constraints = Constraints::new(4, 2)?;
+/// let result = run_on_graph(&dfg, &constraints, &PruningConfig::all(), None);
+/// assert!(result.cuts.iter().any(|cut| cut.contains(mul) && cut.contains(sum)));
+///
+/// // A zero budget reports nothing but still terminates cleanly.
+/// let bounded = run_on_graph(&dfg, &constraints, &PruningConfig::all(), Some(0));
+/// assert!(bounded.cuts.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_on_graph(
+    dfg: &Dfg,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    max_search_nodes: Option<usize>,
+) -> Enumeration {
+    let ctx = EnumContext::new(dfg.clone());
+    incremental_cuts_bounded(&ctx, constraints, pruning, max_search_nodes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

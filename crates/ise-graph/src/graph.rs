@@ -70,6 +70,41 @@ impl Dfg {
         Self::from_parts(name.into(), nodes, edges, outputs, forbidden)
     }
 
+    /// Builds a graph from full node payloads (operation plus optional symbolic name)
+    /// instead of bare operations — the constructor used by deserializers such as the
+    /// `ise-corpus` `.dfg` parser, which must preserve `@` names across a round trip.
+    ///
+    /// Validation is identical to [`Dfg::from_edges`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] under the same conditions as [`Dfg::from_edges`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use ise_graph::{Dfg, Node, NodeId, Operation};
+    ///
+    /// let nodes = vec![
+    ///     Node::new(Operation::Input).with_name("a"),
+    ///     Node::new(Operation::Not),
+    /// ];
+    /// let dfg = Dfg::from_nodes("neg", nodes, vec![(NodeId::new(0), NodeId::new(1))], [], [])?;
+    /// assert_eq!(dfg.node(NodeId::new(0)).name(), Some("a"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_nodes(
+        name: impl Into<String>,
+        nodes: Vec<Node>,
+        edges: Vec<(NodeId, NodeId)>,
+        outputs: impl IntoIterator<Item = NodeId>,
+        forbidden: impl IntoIterator<Item = NodeId>,
+    ) -> Result<Self, GraphError> {
+        Self::from_parts(name.into(), nodes, edges, outputs, forbidden)
+    }
+
     pub(crate) fn from_parts(
         name: String,
         nodes: Vec<Node>,

@@ -154,6 +154,26 @@ impl Operation {
         }
     }
 
+    /// Parses a mnemonic (as produced by [`Operation::mnemonic`]) back into the
+    /// operation, the inverse used by the textual DFG interchange format of
+    /// `ise-corpus`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ise_graph::Operation;
+    ///
+    /// assert_eq!(Operation::from_mnemonic("add"), Some(Operation::Add));
+    /// assert_eq!(Operation::from_mnemonic("load"), Some(Operation::Load));
+    /// assert_eq!(Operation::from_mnemonic("frobnicate"), None);
+    /// ```
+    pub fn from_mnemonic(mnemonic: &str) -> Option<Operation> {
+        Operation::all()
+            .iter()
+            .copied()
+            .find(|op| op.mnemonic() == mnemonic)
+    }
+
     /// All concrete operations, useful for workload generators.
     pub fn all() -> &'static [Operation] {
         use Operation::*;
@@ -306,6 +326,15 @@ mod tests {
         for &op in Operation::all() {
             assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op);
         }
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for &op in Operation::all() {
+            assert_eq!(Operation::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Operation::from_mnemonic(""), None);
+        assert_eq!(Operation::from_mnemonic("ADD"), None, "case sensitive");
     }
 
     #[test]

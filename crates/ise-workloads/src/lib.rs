@@ -14,7 +14,9 @@
 //! * [`mibench_like`] — a MiBench-like basic-block generator and the 250-block suite
 //!   with the paper's size clusters;
 //! * [`expr`] — a tiny straight-line-code frontend that compiles expression statements
-//!   into data-flow graphs, used by the examples.
+//!   into data-flow graphs, used by the examples;
+//! * [`export`] — the standard corpus export: a diverse selection from every family
+//!   above, consumed by `ise-corpus` to (re)generate the committed `corpus/` directory.
 //!
 //! # Example
 //!
@@ -35,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod expr;
 pub mod mibench_like;
 pub mod random_dag;
 pub mod tree;
 
+pub use export::{standard_export, ExportBlock};
 pub use expr::compile_block;
 pub use mibench_like::{generate_block, suite, MiBenchLikeConfig, SizeCluster, SuiteBlock};
 pub use random_dag::{random_dag, RandomDagConfig};

@@ -9,6 +9,10 @@
 //! * [`ise_dominators`] — single- and multiple-vertex dominators (§2, §5.2).
 //! * [`ise_enum`] — convex-cut enumeration, pruning, baseline and ISE selection (§4–5).
 //! * [`ise_workloads`] — synthetic MiBench-like and tree-shaped workloads (§6).
+//! * [`ise_corpus`] — the `.dfg` textual DFG interchange format and the standard
+//!   corpus generator behind the committed `corpus/` directory.
+//! * [`ise_cli`] — the `ise` batch driver: corpus loading, multi-threaded sharded
+//!   enumeration/selection, JSON and markdown reporting.
 //!
 //! # Example
 //!
@@ -24,6 +28,8 @@
 //! # }
 //! ```
 
+pub use ise_cli;
+pub use ise_corpus;
 pub use ise_dominators;
 pub use ise_enum;
 pub use ise_graph;

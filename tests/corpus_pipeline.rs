@@ -1,0 +1,78 @@
+//! End-to-end checks of the corpus + batch subsystem against the committed
+//! `corpus/` directory: the files validate and round-trip, and the batch CLI
+//! reports exactly what direct engine runs report, for any thread count.
+
+use ise_repro::ise_cli::batch::{run_batch, BatchConfig};
+use ise_repro::ise_corpus::{dfg_eq, load_corpus_path, parse_corpus, write_block, CorpusBlock};
+use ise_repro::ise_enum::{run_on_graph, Constraints, PruningConfig};
+
+fn committed_corpus() -> Vec<CorpusBlock> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    load_corpus_path(dir).expect("the committed corpus/ directory validates")
+}
+
+#[test]
+fn committed_corpus_loads_and_round_trips() {
+    let blocks = committed_corpus();
+    assert!(
+        blocks.len() >= 20,
+        "the committed corpus holds ~20 diverse blocks, found {}",
+        blocks.len()
+    );
+    for block in &blocks {
+        let reparsed = parse_corpus(&write_block(block))
+            .unwrap_or_else(|e| panic!("{} does not re-parse: {e}", block.dfg.name()));
+        assert!(
+            dfg_eq(&block.dfg, &reparsed[0].dfg),
+            "{} does not round-trip",
+            block.dfg.name()
+        );
+    }
+}
+
+#[test]
+fn batch_cli_counts_equal_direct_engine_runs_for_any_thread_count() {
+    // The small committed blocks, exhaustively enumerated (no budget): direct
+    // cross-check stays fast while exercising three workload families.
+    let blocks: Vec<CorpusBlock> = committed_corpus()
+        .into_iter()
+        .filter(|b| b.dfg.len() <= 50)
+        .collect();
+    assert!(blocks.len() >= 5, "expected several small committed blocks");
+
+    let constraints = Constraints::new(4, 2).unwrap();
+    let pruning = PruningConfig::all();
+    let config = |threads| BatchConfig {
+        threads,
+        ..BatchConfig::new(constraints.clone())
+    };
+
+    let single = run_batch(&blocks, &config(1));
+    for (outcome, block) in single.iter().zip(&blocks) {
+        let direct = run_on_graph(&block.dfg, &constraints, &pruning, None);
+        assert_eq!(
+            outcome.enumeration.cuts.len(),
+            direct.cuts.len(),
+            "batch vs direct cut count on {}",
+            outcome.name
+        );
+        assert_eq!(
+            outcome.enumeration.stats.search_nodes, direct.stats.search_nodes,
+            "batch vs direct search trace on {}",
+            outcome.name
+        );
+    }
+
+    let eight = run_batch(&blocks, &config(8));
+    let counts = |outcomes: &[ise_repro::ise_cli::batch::BlockOutcome]| -> Vec<(String, usize)> {
+        outcomes
+            .iter()
+            .map(|o| (o.name.clone(), o.enumeration.cuts.len()))
+            .collect()
+    };
+    assert_eq!(counts(&single), counts(&eight));
+    let aggregate = |outcomes: &[ise_repro::ise_cli::batch::BlockOutcome]| -> usize {
+        outcomes.iter().map(|o| o.enumeration.cuts.len()).sum()
+    };
+    assert_eq!(aggregate(&single), aggregate(&eight));
+}
