@@ -1,0 +1,157 @@
+//! E7 in DESIGN.md: intra-block task-parallel scaling on the worst committed corpus
+//! block.
+//!
+//! The `scaling` binary (E3) showed where the single-core constant factors live; this
+//! experiment measures what the `ise_enum::par` first-output task decomposition buys
+//! on top: the hardest committed block is enumerated once serially (the baseline row)
+//! and then task-parallel at every requested thread count. Each parallel run's merged
+//! result is asserted identical to the serial run — cut list *and* statistics — before
+//! its wall time is recorded, so the artifact can never report a speedup for a wrong
+//! answer. `host_cpus` is recorded alongside: on a single-core host the thread rows
+//! measure scheduling overhead (speedup ≈ 1), and the artifact only shows real
+//! scaling when regenerated on a multi-core machine.
+//!
+//! Options (key=value): `corpus` (default `corpus`), `block` (name substring,
+//! default = the largest block), `nin`/`nout` (default 4/2), `budget` (per task,
+//! default 0 = unbounded; the identity assertion only runs unbudgeted), `tasks`
+//! (default 16), `threads` (comma list, default `1,2,4`), `out`
+//! (default `BENCH_par_scaling.json`, `-` disables).
+
+use ise_bench::json::Json;
+use ise_bench::{timed, Options};
+use ise_corpus::load_corpus_path;
+use ise_enum::par::{parallel_cuts, ParConfig};
+use ise_enum::{
+    incremental_cuts_opts, Constraints, Cut, EngineOptions, EnumContext, Enumeration, PruningConfig,
+};
+
+fn keys(result: &Enumeration) -> Vec<ise_enum::CutKey<'_>> {
+    result.cuts.iter().map(Cut::key).collect()
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let corpus = opts.string("corpus", "corpus");
+    let block_filter = opts.string("block", "");
+    let nin = opts.usize("nin", 4);
+    let nout = opts.usize("nout", 2);
+    let budget = match opts.usize("budget", 0) {
+        0 => None,
+        b => Some(b),
+    };
+    let tasks = opts.usize("tasks", 16);
+    let threads: Vec<usize> = opts
+        .string("threads", "1,2,4")
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&t| t > 0)
+        .collect();
+    let out_path = opts.string("out", "BENCH_par_scaling.json");
+
+    let blocks = load_corpus_path(&corpus).unwrap_or_else(|e| panic!("cannot load {corpus}: {e}"));
+    let block = if block_filter.is_empty() {
+        blocks
+            .iter()
+            .max_by_key(|b| b.dfg.len())
+            .expect("corpus has at least one block")
+    } else {
+        blocks
+            .iter()
+            .find(|b| b.dfg.name().contains(&block_filter))
+            .unwrap_or_else(|| panic!("no block matching `{block_filter}` in {corpus}"))
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!(
+        "block {} ({} nodes, {} edges), Nin={nin} Nout={nout}, tasks={tasks}, host_cpus={host_cpus}",
+        block.dfg.name(),
+        block.dfg.len(),
+        block.dfg.edge_count(),
+    );
+
+    let constraints = Constraints::new(nin, nout).expect("non-zero I/O constraints");
+    let pruning = PruningConfig::all();
+    let options = EngineOptions {
+        max_search_nodes: budget,
+        ..EngineOptions::default()
+    };
+    let ctx = EnumContext::new(block.dfg.clone());
+
+    let (serial, serial_elapsed) =
+        timed(|| incremental_cuts_opts(&ctx, &constraints, &pruning, &options));
+    let serial_seconds = serial_elapsed.as_secs_f64();
+    println!("mode,tasks,threads,seconds,speedup,cuts,search_nodes,identical");
+    println!(
+        "serial,1,1,{serial_seconds:.6},1.00,{},{},true",
+        serial.stats.valid_cuts, serial.stats.search_nodes
+    );
+    let mut rows = vec![Json::object([
+        ("mode", Json::str("serial")),
+        ("tasks", Json::uint(1)),
+        ("threads", Json::uint(1)),
+        ("seconds", Json::num(serial_seconds)),
+        ("speedup", Json::num(1.0)),
+        ("cuts", Json::uint(serial.stats.valid_cuts)),
+        ("search_nodes", Json::uint(serial.stats.search_nodes)),
+        ("identical_to_serial", Json::Bool(true)),
+    ])];
+
+    let mut best_speedup: Option<f64> = None;
+    for &t in &threads {
+        let mut config = ParConfig::new(tasks, t);
+        config.options = options;
+        let (par, elapsed) = timed(|| parallel_cuts(&ctx, &constraints, &pruning, &config));
+        // The merged result must be byte-identical to the serial run; a budgeted run
+        // truncates per task, so only unbudgeted runs assert (and record) identity.
+        let identical = budget.is_none();
+        if identical {
+            assert_eq!(par.stats, serial.stats, "{t} threads: stats diverge");
+            assert_eq!(keys(&par), keys(&serial), "{t} threads: cuts diverge");
+        }
+        let seconds = elapsed.as_secs_f64();
+        let speedup = serial_seconds / seconds.max(f64::MIN_POSITIVE);
+        best_speedup = Some(best_speedup.map_or(speedup, |b| b.max(speedup)));
+        println!(
+            "parallel,{tasks},{t},{seconds:.6},{speedup:.2},{},{},{identical}",
+            par.stats.valid_cuts, par.stats.search_nodes
+        );
+        rows.push(Json::object([
+            ("mode", Json::str("parallel")),
+            ("tasks", Json::uint(tasks)),
+            ("threads", Json::uint(t)),
+            ("seconds", Json::num(seconds)),
+            ("speedup", Json::num(speedup)),
+            ("cuts", Json::uint(par.stats.valid_cuts)),
+            ("search_nodes", Json::uint(par.stats.search_nodes)),
+            ("identical_to_serial", Json::Bool(identical)),
+        ]));
+    }
+
+    if out_path != "-" {
+        let doc = Json::object([
+            ("schema", Json::str("ise-bench/par-scaling/v1")),
+            ("block", Json::str(block.dfg.name().to_string())),
+            ("nodes", Json::uint(block.dfg.len())),
+            ("edges", Json::uint(block.dfg.edge_count())),
+            ("nin", Json::uint(nin)),
+            ("nout", Json::uint(nout)),
+            ("tasks", Json::uint(tasks)),
+            ("budget", budget.map_or(Json::Null, Json::uint)),
+            ("host_cpus", Json::uint(host_cpus)),
+            ("rows", Json::Array(rows)),
+            (
+                "summary",
+                Json::object([
+                    ("serial_seconds", Json::num(serial_seconds)),
+                    ("best_speedup", best_speedup.map_or(Json::Null, Json::num)),
+                ]),
+            ),
+        ]);
+        std::fs::write(&out_path, doc.render() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        eprintln!(
+            "wrote {out_path} (serial {serial_seconds:.3}s, best speedup {:.2}x \
+             on {host_cpus} cpu(s))",
+            best_speedup.unwrap_or(f64::NAN)
+        );
+    }
+}

@@ -1,15 +1,46 @@
-//! The sharded batch runner: blocks × worker threads over a shared work queue.
+//! The sharded batch runner: a two-level dynamic (work-sharing) scheduler over
+//! (block, task) items.
+//!
+//! PR 3's runner sharded whole *blocks* across workers, which left one adversarial
+//! block serializing an entire corpus sweep. This revision flattens the work into
+//! `(block, task)` items — large blocks fan out into first-output tasks via
+//! [`ise_enum::par`], small blocks stay whole — and all workers pull items from a
+//! single lock-free [`AtomicUsize`] fetch-add cursor (the former `Mutex<VecDeque>`
+//! queue was an index range behind a lock; the cursor is the same schedule without
+//! the lock). The worker completing a block's last task merges its task outputs and
+//! finalizes the block, so `--threads` now feeds both levels at once.
+//!
+//! **Determinism.** The fan-out decision ([`BatchConfig::par_threshold`],
+//! [`MAX_TASKS_PER_BLOCK`]) and the per-task budget split are functions of the block
+//! and the configuration alone — never of the thread count — and the task merge is
+//! deterministic, so every count in the output is byte-identical for any `--threads`
+//! value (the PR 3 guarantee). Unbudgeted fanned-out blocks reproduce the serial
+//! enumeration exactly, statistics included; budgeted ones split the block budget
+//! evenly across tasks (each subtree is truncated independently), which is
+//! deterministic but intentionally not identical to a serially budgeted run.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ise_corpus::CorpusBlock;
+use ise_enum::par::{merge_tasks, run_root_task, task_ranges, TaskOutput};
 use ise_enum::{
-    incremental_cuts_bounded, select_ises, Constraints, EnumContext, Enumeration, PruningConfig,
-    Selection,
+    incremental_cuts_opts, select_ises, Constraints, DedupMode, EngineOptions, EnumContext,
+    Enumeration, PruningConfig, Selection,
 };
-use ise_graph::LatencyModel;
+use ise_graph::{Dfg, LatencyModel};
+
+/// Blocks with at least this many vertices fan out into first-output tasks by
+/// default (`--par-threshold` overrides).
+pub const DEFAULT_PAR_THRESHOLD: usize = 64;
+
+/// Upper bound on the number of tasks one block fans out into. A constant (not a
+/// function of the thread count!) so that budgeted runs are byte-identical for any
+/// `--threads` value; 16 tasks keep every realistic worker count fed while bounding
+/// the per-block merge state.
+pub const MAX_TASKS_PER_BLOCK: usize = 16;
 
 /// Selection settings for `ise select` (enumeration settings live in [`BatchConfig`]).
 #[derive(Clone, Debug)]
@@ -29,16 +60,25 @@ pub struct BatchConfig {
     pub constraints: Constraints,
     /// The §5.3 pruning techniques to apply (all, for production runs).
     pub pruning: PruningConfig,
-    /// Optional per-block search budget (`None` = unbounded).
+    /// Optional per-block search budget (`None` = unbounded); fanned-out blocks
+    /// split it evenly across their tasks.
     pub budget: Option<usize>,
-    /// Number of worker threads; clamped to at least 1.
+    /// Number of worker threads; clamped to at least 1. Feeds both scheduler levels
+    /// and never changes any output count.
     pub threads: usize,
     /// When set, each block additionally runs the greedy ISE selection.
     pub select: Option<SelectionConfig>,
+    /// When the engine de-duplicates candidates relative to validating them
+    /// (`--dedup-mode`; [`DedupMode::ValidateFirst`] is the bounded-memory fallback).
+    pub dedup_mode: DedupMode,
+    /// Minimum block size (in vertices) for intra-block fan-out; `usize::MAX`
+    /// disables fan-out entirely.
+    pub par_threshold: usize,
 }
 
 impl BatchConfig {
-    /// An unbounded single-threaded enumerate-only configuration.
+    /// An unbounded single-threaded enumerate-only configuration with the default
+    /// fan-out threshold.
     pub fn new(constraints: Constraints) -> Self {
         BatchConfig {
             constraints,
@@ -46,6 +86,8 @@ impl BatchConfig {
             budget: None,
             threads: 1,
             select: None,
+            dedup_mode: DedupMode::default(),
+            par_threshold: DEFAULT_PAR_THRESHOLD,
         }
     }
 }
@@ -65,49 +107,172 @@ pub struct BlockOutcome {
     pub edges: usize,
     /// Forbidden-vertex count of the block (memory operations, calls, user marks).
     pub forbidden: usize,
-    /// The enumeration result.
+    /// How many first-output tasks the block was split into (1 = ran whole).
+    pub tasks: usize,
+    /// The enumeration result (merged across tasks when the block fanned out).
     pub enumeration: Enumeration,
     /// The greedy selection, when [`BatchConfig::select`] was set.
     pub selection: Option<Selection>,
-    /// Wall time this block took on its worker (context build included).
+    /// Wall time from the block's first task starting to its merge completing
+    /// (context build included).
     pub elapsed: Duration,
 }
 
-/// Runs the batch: every block of `blocks` through the engine, sharded across
-/// [`BatchConfig::threads`] workers that pull indices from a shared queue (so a few
-/// large blocks do not serialize behind a static partition).
+/// The per-block schedule: how many tasks, over which first-output ranges.
+struct BlockPlan {
+    tasks: usize,
+    ranges: Vec<Range<usize>>,
+    options: EngineOptions,
+}
+
+/// In-flight state of one block; the worker finishing the last task merges.
+struct BlockSlot {
+    ctx: OnceLock<EnumContext>,
+    started: OnceLock<Instant>,
+    pending: AtomicUsize,
+    outputs: Vec<Mutex<Option<TaskOutput>>>,
+    outcome: OnceLock<BlockOutcome>,
+}
+
+fn plan_block(dfg: &Dfg, config: &BatchConfig) -> BlockPlan {
+    // The engine's own context-free counter, so the plan's task ranges can never
+    // drift from the candidate list `run_root_task` slices.
+    let candidates = EnumContext::candidate_output_count(dfg);
+    let tasks = if dfg.len() >= config.par_threshold {
+        candidates.clamp(1, MAX_TASKS_PER_BLOCK)
+    } else {
+        1
+    };
+    BlockPlan {
+        tasks,
+        ranges: task_ranges(candidates, tasks),
+        options: EngineOptions {
+            // The block budget is split evenly across tasks so a fanned-out sweep
+            // costs what a whole-block sweep would; deterministic in the plan alone.
+            max_search_nodes: config.budget.map(|b| b.div_ceil(tasks).max(1)),
+            dedup_mode: config.dedup_mode,
+            ..EngineOptions::default()
+        },
+    }
+}
+
+/// Runs the batch: every block of `blocks` through the engine, with large blocks
+/// fanned out into first-output tasks, all `(block, task)` items pulled from one
+/// atomic cursor by [`BatchConfig::threads`] workers.
 ///
-/// Each worker owns its per-block [`EnumContext`] and search state — the engine's
-/// `Send` audit guarantees nothing is shared mutably — and enumeration is
-/// deterministic per block, so the outcome (sorted by block index) is identical for
-/// every thread count; only the wall times differ.
+/// Each worker owns its per-task search state — the engine's `Send` audit guarantees
+/// nothing is shared mutably — and both the fan-out plan and the task merge are
+/// deterministic, so the outcomes (sorted by block index) are identical for every
+/// thread count; only the wall times differ.
 pub fn run_batch(blocks: &[CorpusBlock], config: &BatchConfig) -> Vec<BlockOutcome> {
-    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..blocks.len()).collect());
-    let results: Mutex<Vec<BlockOutcome>> = Mutex::new(Vec::with_capacity(blocks.len()));
-    let workers = config.threads.max(1).min(blocks.len().max(1));
+    let plans: Vec<BlockPlan> = blocks.iter().map(|b| plan_block(&b.dfg, config)).collect();
+    let items: Vec<(usize, usize)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(block, plan)| (0..plan.tasks).map(move |task| (block, task)))
+        .collect();
+    let slots: Vec<BlockSlot> = plans
+        .iter()
+        .map(|plan| BlockSlot {
+            ctx: OnceLock::new(),
+            started: OnceLock::new(),
+            pending: AtomicUsize::new(plan.tasks),
+            outputs: (0..plan.tasks).map(|_| Mutex::new(None)).collect(),
+            outcome: OnceLock::new(),
+        })
+        .collect();
+
+    let cursor = AtomicUsize::new(0);
+    let workers = config.threads.max(1).min(items.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let next = queue.lock().expect("work queue poisoned").pop_front();
-                let Some(index) = next else { break };
-                let outcome = process_block(&blocks[index], index, config);
-                results.lock().expect("result sink poisoned").push(outcome);
+                let item = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(block_idx, task_idx)) = items.get(item) else {
+                    break;
+                };
+                run_item(
+                    &blocks[block_idx],
+                    block_idx,
+                    task_idx,
+                    &plans[block_idx],
+                    &slots[block_idx],
+                    config,
+                );
             });
         }
     });
-    let mut outcomes = results.into_inner().expect("result sink poisoned");
-    outcomes.sort_by_key(|outcome| outcome.index);
-    outcomes
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.outcome
+                .into_inner()
+                .expect("every scheduled block was finalized")
+        })
+        .collect()
 }
 
-fn process_block(block: &CorpusBlock, index: usize, config: &BatchConfig) -> BlockOutcome {
-    let start = Instant::now();
-    let ctx = EnumContext::new(block.dfg.clone());
-    let enumeration =
-        incremental_cuts_bounded(&ctx, &config.constraints, &config.pruning, config.budget);
+/// Executes one `(block, task)` item; the worker completing a block's last task
+/// merges and finalizes it.
+fn run_item(
+    block: &CorpusBlock,
+    block_idx: usize,
+    task_idx: usize,
+    plan: &BlockPlan,
+    slot: &BlockSlot,
+    config: &BatchConfig,
+) {
+    let started = *slot.started.get_or_init(Instant::now);
+    let ctx = slot.ctx.get_or_init(|| EnumContext::new(block.dfg.clone()));
+    if plan.tasks == 1 {
+        // Whole-block item: run the serial engine directly, no merge needed.
+        let enumeration =
+            incremental_cuts_opts(ctx, &config.constraints, &config.pruning, &plan.options);
+        finalize(block, block_idx, plan, slot, config, enumeration, started);
+    } else {
+        let output = run_root_task(
+            ctx,
+            &config.constraints,
+            &config.pruning,
+            &plan.options,
+            plan.ranges[task_idx].clone(),
+        );
+        *slot.outputs[task_idx]
+            .lock()
+            .expect("task output slot poisoned") = Some(output);
+        // The last task to finish (the mutex stores above synchronize with this
+        // acquire) merges in range order — deterministic whatever the schedule was.
+        if slot.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let outputs: Vec<TaskOutput> = slot
+                .outputs
+                .iter()
+                .map(|m| {
+                    m.lock()
+                        .expect("task output slot poisoned")
+                        .take()
+                        .expect("all tasks of the block completed")
+                })
+                .collect();
+            let enumeration = merge_tasks(ctx, &plan.options, outputs);
+            finalize(block, block_idx, plan, slot, config, enumeration, started);
+        }
+    }
+}
+
+fn finalize(
+    block: &CorpusBlock,
+    index: usize,
+    plan: &BlockPlan,
+    slot: &BlockSlot,
+    config: &BatchConfig,
+    enumeration: Enumeration,
+    started: Instant,
+) {
+    let ctx = slot.ctx.get().expect("context built before finalize");
     let selection = config.select.as_ref().map(|sel| {
         select_ises(
-            &ctx,
+            ctx,
             &enumeration.cuts,
             &LatencyModel::default(),
             sel.ports_in,
@@ -115,16 +280,20 @@ fn process_block(block: &CorpusBlock, index: usize, config: &BatchConfig) -> Blo
             sel.max_instructions,
         )
     });
-    BlockOutcome {
+    let outcome = BlockOutcome {
         index,
         name: block.dfg.name().to_string(),
         nodes: block.dfg.len(),
         edges: block.dfg.edge_count(),
         forbidden: block.dfg.forbidden().len(),
+        tasks: plan.tasks,
         enumeration,
         selection,
-        elapsed: start.elapsed(),
-    }
+        elapsed: started.elapsed(),
+    };
+    slot.outcome
+        .set(outcome)
+        .expect("each block is finalized exactly once");
 }
 
 #[cfg(test)]
@@ -179,27 +348,77 @@ mod tests {
         }
     }
 
+    /// Fanned-out blocks (forced via a tiny threshold) must still report exactly the
+    /// serial enumeration — statistics included — on unbudgeted runs.
+    #[test]
+    fn fanned_out_blocks_match_direct_engine_runs_exactly() {
+        let blocks = small_corpus();
+        let mut cfg = config(3);
+        cfg.par_threshold = 1; // every block fans out
+        let outcomes = run_batch(&blocks, &cfg);
+        for (outcome, block) in outcomes.iter().zip(&blocks) {
+            assert!(outcome.tasks > 1, "{} did not fan out", outcome.name);
+            let direct = run_on_graph(&block.dfg, &cfg.constraints, &cfg.pruning, None);
+            assert_eq!(
+                outcome.enumeration.stats, direct.stats,
+                "merged stats differ from serial on {}",
+                outcome.name
+            );
+            let merged: Vec<_> = outcome.enumeration.cuts.iter().map(|c| c.key()).collect();
+            let serial: Vec<_> = direct.cuts.iter().map(|c| c.key()).collect();
+            assert_eq!(merged, serial, "cut order differs on {}", outcome.name);
+        }
+    }
+
     /// Thread count must not change results — only wall time (acceptance criterion:
-    /// identical aggregate counts for N=1 and N=8).
+    /// identical aggregate counts for N=1 and N=8) — including when blocks fan out.
     #[test]
     fn thread_count_does_not_change_results() {
         let blocks = small_corpus();
-        let one = run_batch(&blocks, &config(1));
-        for threads in [2, 8] {
-            let many = run_batch(&blocks, &config(threads));
-            assert_eq!(one.len(), many.len());
-            for (a, b) in one.iter().zip(&many) {
-                assert_eq!(a.index, b.index);
-                assert_eq!(a.name, b.name);
-                assert_eq!(a.enumeration.cuts.len(), b.enumeration.cuts.len());
-                assert_eq!(
-                    a.enumeration.stats.candidates_checked,
-                    b.enumeration.stats.candidates_checked
-                );
+        for par_threshold in [DEFAULT_PAR_THRESHOLD, 1] {
+            let make = |threads| {
+                let mut cfg = config(threads);
+                cfg.par_threshold = par_threshold;
+                cfg
+            };
+            let one = run_batch(&blocks, &make(1));
+            for threads in [2, 8] {
+                let many = run_batch(&blocks, &make(threads));
+                assert_eq!(one.len(), many.len());
+                for (a, b) in one.iter().zip(&many) {
+                    assert_eq!(a.index, b.index);
+                    assert_eq!(a.name, b.name);
+                    assert_eq!(a.tasks, b.tasks);
+                    assert_eq!(a.enumeration.stats, b.enumeration.stats);
+                    assert_eq!(a.enumeration.cuts.len(), b.enumeration.cuts.len());
+                }
+                let total =
+                    |o: &[BlockOutcome]| o.iter().map(|b| b.enumeration.cuts.len()).sum::<usize>();
+                assert_eq!(total(&one), total(&many), "{threads} threads");
             }
-            let total =
-                |o: &[BlockOutcome]| o.iter().map(|b| b.enumeration.cuts.len()).sum::<usize>();
-            assert_eq!(total(&one), total(&many), "{threads} threads");
+        }
+    }
+
+    /// The validate-first memory fallback must not change any reported cut.
+    #[test]
+    fn dedup_mode_does_not_change_cut_counts() {
+        let blocks = small_corpus();
+        let reference = run_batch(&blocks, &config(2));
+        let mut cfg = config(2);
+        cfg.dedup_mode = DedupMode::ValidateFirst;
+        cfg.par_threshold = 1;
+        let fallback = run_batch(&blocks, &cfg);
+        for (a, b) in reference.iter().zip(&fallback) {
+            assert_eq!(
+                a.enumeration.cuts.len(),
+                b.enumeration.cuts.len(),
+                "{}",
+                a.name
+            );
+            assert_eq!(
+                a.enumeration.stats.valid_cuts,
+                b.enumeration.stats.valid_cuts
+            );
         }
     }
 
@@ -233,6 +452,18 @@ mod tests {
         cfg.budget = Some(10);
         for outcome in run_batch(&blocks, &cfg) {
             assert!(outcome.enumeration.stats.search_nodes <= 10);
+        }
+        // Fanned out, the block budget is split across tasks, so the block total
+        // still cannot exceed the budget (plus per-task rounding).
+        cfg.par_threshold = 1;
+        cfg.budget = Some(32);
+        for outcome in run_batch(&blocks, &cfg) {
+            assert!(
+                outcome.enumeration.stats.search_nodes <= 32 + outcome.tasks,
+                "{}: {} nodes over budget",
+                outcome.name,
+                outcome.enumeration.stats.search_nodes
+            );
         }
     }
 

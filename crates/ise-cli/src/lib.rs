@@ -12,13 +12,19 @@
 //!
 //! `enumerate` runs the incremental polynomial enumeration on every block;
 //! `select` additionally runs the greedy ISE selection per block; `report` prints a
-//! corpus inventory (loading doubles as validation). Blocks are sharded across
-//! `--threads` `std::thread` workers pulling from a shared work queue
-//! ([`batch::run_batch`]); per-block results are deterministic and outcomes are sorted
-//! by corpus order, so **every count in the JSON and markdown output is identical for
-//! any thread count** — only wall times vary. Runs are budgeted per block by default
-//! ([`DEFAULT_BUDGET`] search nodes, `--budget 0` to lift) so one adversarial block
-//! cannot stall a corpus sweep. Machine-readable output is JSON
+//! corpus inventory (loading doubles as validation). Work is sharded at **two
+//! levels** by one scheduler ([`batch::run_batch`]): blocks with at least
+//! `--par-threshold` vertices fan out into first-output tasks (`ise_enum::par`),
+//! smaller blocks stay whole, and `--threads` workers pull the flattened
+//! `(block, task)` items from a lock-free atomic cursor — so a single adversarial
+//! block scales with cores instead of serializing the sweep. The fan-out plan is a
+//! function of the block and the flags alone (never of the thread count) and the
+//! task merge is deterministic, so **every count in the JSON and markdown output is
+//! identical for any thread count** — only wall times vary. Runs are budgeted per
+//! block by default ([`DEFAULT_BUDGET`] search nodes, `--budget 0` to lift; fanned
+//! blocks split the budget across tasks) so one adversarial block cannot stall a
+//! corpus sweep, and `--dedup-mode validate-first` selects the bounded-memory
+//! de-duplication fallback. Machine-readable output is JSON
 //! (schemas `ise-cli/enumerate/v1` and `ise-cli/select/v1`, built on
 //! [`ise_bench::json`]); `--md` adds a human-readable markdown companion. See
 //! `docs/GUIDE.md` for the end-to-end walkthrough.
@@ -57,9 +63,9 @@ use std::fmt;
 use std::time::Instant;
 
 use ise_corpus::{load_corpus_path, CorpusError};
-use ise_enum::{Constraints, PruningConfig};
+use ise_enum::{Constraints, DedupMode, PruningConfig};
 
-use batch::{run_batch, BatchConfig, SelectionConfig};
+use batch::{run_batch, BatchConfig, SelectionConfig, DEFAULT_PAR_THRESHOLD};
 use report::{batch_json, batch_markdown, corpus_markdown, RunMeta};
 
 /// The usage text printed by `ise help` and attached to usage errors.
@@ -68,6 +74,7 @@ usage: ise <enumerate|select|report> [flags]
 
   ise enumerate --corpus PATH [--threads N] [--nin 4] [--nout 2]
                 [--budget M] [--limit K] [--out FILE|-] [--md FILE|-]
+                [--par-threshold V] [--dedup-mode dedup-first|validate-first]
   ise select    (same flags as enumerate)
                 [--max-instr 4] [--ports-in N] [--ports-out N]
   ise report    --corpus PATH [--limit K]
@@ -75,7 +82,15 @@ usage: ise <enumerate|select|report> [flags]
 PATH is a .dfg file or a directory of .dfg files (default: corpus).
 --out/--md write JSON/markdown to FILE, or to stdout when FILE is `-`.
 --budget caps the search per block in search nodes (default 1000000,
-0 = unbounded); small blocks finish below it and are enumerated fully.";
+0 = unbounded); small blocks finish below it and are enumerated fully.
+--threads feeds a two-level scheduler: blocks with at least
+--par-threshold vertices (default 64; 0 = always, a huge value = never)
+fan out into first-output tasks, so one large block scales with threads
+too. All counts are byte-identical for any --threads value; fanned-out
+blocks split their --budget evenly across tasks.
+--dedup-mode validate-first bounds the dedup arena by the valid cuts
+(the memory fallback for huge blocks) at the cost of re-validating
+duplicate candidates; the reported cuts are identical.";
 
 /// Error surface of the `ise` binary.
 #[derive(Debug)]
@@ -157,7 +172,16 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 pub const DEFAULT_BUDGET: usize = 1_000_000;
 
 const BATCH_FLAGS: &[&str] = &[
-    "corpus", "threads", "nin", "nout", "budget", "limit", "out", "md",
+    "corpus",
+    "threads",
+    "nin",
+    "nout",
+    "budget",
+    "limit",
+    "out",
+    "md",
+    "par-threshold",
+    "dedup-mode",
 ];
 const SELECT_FLAGS: &[&str] = &[
     "corpus",
@@ -168,10 +192,22 @@ const SELECT_FLAGS: &[&str] = &[
     "limit",
     "out",
     "md",
+    "par-threshold",
+    "dedup-mode",
     "max-instr",
     "ports-in",
     "ports-out",
 ];
+
+fn parse_dedup_mode(flags: &Flags) -> Result<DedupMode, CliError> {
+    match flags.get("dedup-mode") {
+        None | Some("dedup-first") => Ok(DedupMode::DedupFirst),
+        Some("validate-first") => Ok(DedupMode::ValidateFirst),
+        Some(other) => Err(CliError::Usage(format!(
+            "`--dedup-mode` must be dedup-first or validate-first, got `{other}`"
+        ))),
+    }
+}
 
 fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
     let allowed = if select { SELECT_FLAGS } else { BATCH_FLAGS };
@@ -186,6 +222,8 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
         0 => None,
         limit => Some(limit),
     };
+    let par_threshold = flags.usize("par-threshold", DEFAULT_PAR_THRESHOLD)?;
+    let dedup_mode = parse_dedup_mode(&flags)?;
     let selection = if select {
         Some(SelectionConfig {
             max_instructions: flags.usize("max-instr", 4)?,
@@ -203,6 +241,8 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
         budget,
         threads,
         select: selection,
+        dedup_mode,
+        par_threshold,
     };
     let start = Instant::now();
     let outcomes = run_batch(&blocks, &config);
@@ -212,6 +252,8 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
         nout,
         threads,
         budget,
+        par_threshold,
+        dedup_mode,
         select,
         elapsed: start.elapsed(),
     };
@@ -347,5 +389,39 @@ mod tests {
         ));
         let err = run(&argv(&["enumerate", "--corpus", "x", "--nin", "0"])).unwrap_err();
         assert!(err.to_string().contains("--nin"), "{err}");
+        let err = run(&argv(&[
+            "enumerate",
+            "--corpus",
+            "x",
+            "--dedup-mode",
+            "later",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--dedup-mode"), "{err}");
+    }
+
+    #[test]
+    fn dedup_mode_and_par_threshold_flags_are_accepted() {
+        let dir = demo_corpus("flags");
+        let out = dir.join("f.json");
+        run(&argv(&[
+            "enumerate",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--dedup-mode",
+            "validate-first",
+            "--par-threshold",
+            "1",
+            "--budget",
+            "0",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains(r#""dedup_mode":"validate-first""#), "{json}");
+        assert!(json.contains(r#""par_threshold":1"#), "{json}");
+        assert!(json.contains(r#""tasks":"#), "{json}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

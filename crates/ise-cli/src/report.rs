@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use ise_bench::json::Json;
 use ise_corpus::CorpusBlock;
+use ise_enum::DedupMode;
 
 use crate::batch::BlockOutcome;
 
@@ -21,6 +22,10 @@ pub struct RunMeta {
     pub threads: usize,
     /// Per-block search budget, if any.
     pub budget: Option<usize>,
+    /// Minimum block size (vertices) for intra-block fan-out.
+    pub par_threshold: usize,
+    /// De-duplication mode of the run.
+    pub dedup_mode: DedupMode,
     /// Whether this was an `ise select` run. Carried explicitly so the schema and
     /// selection aggregates stay correct even for runs over zero blocks.
     pub select: bool,
@@ -82,6 +87,14 @@ pub fn batch_json(outcomes: &[BlockOutcome], meta: &RunMeta) -> Json {
         ("nout", Json::uint(meta.nout)),
         ("threads", Json::uint(meta.threads)),
         ("budget", meta.budget.map_or(Json::Null, Json::uint)),
+        ("par_threshold", Json::uint(meta.par_threshold)),
+        (
+            "dedup_mode",
+            Json::str(match meta.dedup_mode {
+                DedupMode::DedupFirst => "dedup-first",
+                DedupMode::ValidateFirst => "validate-first",
+            }),
+        ),
         ("blocks", Json::Array(rows)),
         ("aggregate", Json::object(aggregate)),
     ])
@@ -94,6 +107,7 @@ fn block_row(outcome: &BlockOutcome) -> Json {
         ("nodes", Json::uint(outcome.nodes)),
         ("edges", Json::uint(outcome.edges)),
         ("forbidden", Json::uint(outcome.forbidden)),
+        ("tasks", Json::uint(outcome.tasks)),
         ("cuts", Json::uint(outcome.enumeration.cuts.len())),
         ("search_nodes", Json::uint(stats.search_nodes)),
         ("candidates_checked", Json::uint(stats.candidates_checked)),
@@ -286,6 +300,8 @@ mod tests {
             nout: 2,
             threads: 1,
             budget: None,
+            par_threshold: crate::batch::DEFAULT_PAR_THRESHOLD,
+            dedup_mode: DedupMode::DedupFirst,
             select,
             elapsed: Duration::from_millis(5),
         };
@@ -322,6 +338,8 @@ mod tests {
             nout: 2,
             threads: 1,
             budget: None,
+            par_threshold: crate::batch::DEFAULT_PAR_THRESHOLD,
+            dedup_mode: DedupMode::DedupFirst,
             select: true,
             elapsed: Duration::from_millis(1),
         };

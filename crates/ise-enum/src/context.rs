@@ -63,15 +63,12 @@ impl EnumContext {
             .filter(|&v| !rooted.is_forbidden(v))
             .collect();
 
-        let succs: Vec<Vec<NodeId>> = rooted
-            .original_node_ids()
-            .map(|v| rooted.dfg().succs(v).to_vec())
-            .collect();
-        let preds: Vec<Vec<NodeId>> = rooted
-            .original_node_ids()
-            .map(|v| rooted.dfg().preds(v).to_vec())
-            .collect();
-        let depth = ise_graph::depths_from_roots(&succs, &preds);
+        // The original graph's CSR adjacency feeds the depth computation directly;
+        // no per-row copies.
+        let depth = ise_graph::depths_from_roots(
+            rooted.dfg().succs_adjacency(),
+            rooted.dfg().preds_adjacency(),
+        );
 
         EnumContext {
             rooted,
@@ -119,6 +116,17 @@ impl EnumContext {
     /// legal chosen output.
     pub fn candidate_outputs(&self) -> &[NodeId] {
         &self.candidate_outputs
+    }
+
+    /// How many candidate outputs [`EnumContext::new`] would derive for `dfg`,
+    /// without building the context. Batch schedulers use this to plan first-output
+    /// task ranges (`crate::par::task_ranges`) before the per-block context exists;
+    /// it is guaranteed (and unit-tested) to equal `candidate_outputs().len()`.
+    pub fn candidate_output_count(dfg: &Dfg) -> usize {
+        // Mirrors the `candidate_outputs` filter: the rooted graph forbids exactly
+        // `F` ∪ `Iext` among original vertices, which `Dfg::is_forbidden` captures
+        // as "forbidden or root".
+        dfg.node_ids().filter(|&v| !dfg.is_forbidden(v)).count()
     }
 
     /// Longest-path depth (in edges) of `node` from the roots of the original graph.
@@ -210,6 +218,30 @@ mod tests {
         assert!(!c.contains(&a));
         assert!(!c.contains(&b));
         assert!(!c.contains(&st), "stores are forbidden");
+    }
+
+    /// The context-free count used by batch schedulers to plan task ranges must
+    /// agree with the derived candidate list for every graph shape.
+    #[test]
+    fn candidate_output_count_matches_the_context() {
+        let (ctx, _) = sample();
+        assert_eq!(
+            EnumContext::candidate_output_count(ctx.dfg()),
+            ctx.candidate_outputs().len()
+        );
+        // A graph with user-forbidden vertices and multiple roots.
+        let mut b = DfgBuilder::new("mixed");
+        let p = b.input("p");
+        let q = b.input("q");
+        let m = b.node(Operation::Mul, &[p, q]);
+        let s = b.node(Operation::Store, &[m]);
+        let _t = b.node(Operation::Add, &[m, p]);
+        let _ = s;
+        let ctx = EnumContext::new(b.build().unwrap());
+        assert_eq!(
+            EnumContext::candidate_output_count(ctx.dfg()),
+            ctx.candidate_outputs().len()
+        );
     }
 
     #[test]

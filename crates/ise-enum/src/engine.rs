@@ -50,6 +50,37 @@ use crate::cut::Cut;
 use crate::result::Enumeration;
 use crate::stats::EnumStats;
 
+/// When the engine de-duplicates a candidate relative to validating it (the DESIGN.md
+/// §1.2 time-for-memory trade, selectable per run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DedupMode {
+    /// De-duplicate on the packed body key *before* validation (the default): repeated
+    /// candidates skip the convexity and I/O-condition checks entirely, at the cost of
+    /// retaining every distinct *examined* body (valid or not) in the seen-set arena —
+    /// ~11M keys on the committed scaling workload's largest row.
+    #[default]
+    DedupFirst,
+    /// Validate *before* de-duplicating: only valid cuts enter the seen-set, so the
+    /// arena is bounded by the number of valid cuts instead of the number of distinct
+    /// candidates — the memory fallback for sweeps over huge blocks. Duplicated
+    /// candidates pay re-validation, and the rejection counters count every
+    /// occurrence rather than the first; the reported cut set is identical.
+    ValidateFirst,
+}
+
+/// Per-run engine settings bundled for the entry points that need more than the
+/// defaults ([`run_with_options`], `incremental_cuts_opts`, the `par` module).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Search budget in recursion steps (`None` = unbounded). In task-parallel runs
+    /// the budget applies *per task*.
+    pub max_search_nodes: Option<usize>,
+    /// How the cut body is obtained at each `CHECK-CUT`.
+    pub strategy: BodyStrategy,
+    /// When candidates are de-duplicated relative to validation.
+    pub dedup_mode: DedupMode,
+}
+
 /// How the engine obtains the cut body at each `CHECK-CUT`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum BodyStrategy {
@@ -104,7 +135,27 @@ pub fn run_with_strategy<E: Enumerator + ?Sized>(
     max_search_nodes: Option<usize>,
     strategy: BodyStrategy,
 ) -> Enumeration {
-    let mut state = SearchState::new(ctx, constraints, max_search_nodes, strategy);
+    run_with_options(
+        enumerator,
+        ctx,
+        constraints,
+        &EngineOptions {
+            max_search_nodes,
+            strategy,
+            dedup_mode: DedupMode::default(),
+        },
+    )
+}
+
+/// Runs `enumerator` over `ctx` with explicit [`EngineOptions`].
+pub fn run_with_options<E: Enumerator + ?Sized>(
+    enumerator: &mut E,
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    options: &EngineOptions,
+) -> Enumeration {
+    let mut state = SearchState::new(ctx, constraints, options.max_search_nodes, options.strategy);
+    state.set_dedup_mode(options.dedup_mode);
     enumerator.search(&mut state);
     state.finish()
 }
@@ -134,6 +185,11 @@ pub struct SearchState<'a> {
     ctx: &'a EnumContext,
     constraints: &'a Constraints,
     strategy: BodyStrategy,
+    dedup_mode: DedupMode,
+    /// When set, every first-seen key inserted into `seen` gets one classification
+    /// byte appended here (see [`CandidateClass`]) — the trace the task-parallel
+    /// merge replays to reconstruct the serial run's statistics exactly.
+    class_log: Option<Vec<u8>>,
     max_search_nodes: Option<usize>,
     /// Cached `ctx.rooted().forbidden()` for hot membership tests.
     forbidden: &'a DenseNodeSet,
@@ -176,6 +232,8 @@ impl<'a> SearchState<'a> {
             ctx,
             constraints,
             strategy,
+            dedup_mode: DedupMode::default(),
+            class_log: None,
             max_search_nodes,
             forbidden: ctx.rooted().forbidden(),
             body: DenseNodeSet::new(n),
@@ -210,6 +268,29 @@ impl<'a> SearchState<'a> {
     /// The body strategy of this run.
     pub fn strategy(&self) -> BodyStrategy {
         self.strategy
+    }
+
+    /// The de-duplication mode of this run.
+    pub fn dedup_mode(&self) -> DedupMode {
+        self.dedup_mode
+    }
+
+    /// Selects when candidates are de-duplicated relative to validation (see
+    /// [`DedupMode`]). Must be called before the search reports any candidate.
+    pub fn set_dedup_mode(&mut self, mode: DedupMode) {
+        debug_assert!(
+            self.seen.len() == 0 && self.cuts.is_empty(),
+            "dedup mode must be fixed before candidates are reported"
+        );
+        self.dedup_mode = mode;
+    }
+
+    /// Turns on the candidate-classification log consumed by the task-parallel merge
+    /// (`crate::par`). Only meaningful with [`DedupMode::DedupFirst`] under
+    /// [`BodyStrategy::Incremental`]; one byte is appended per first-seen key, in
+    /// seen-set insertion order.
+    pub(crate) fn enable_class_log(&mut self) {
+        self.class_log = Some(Vec::new());
     }
 
     /// Read access to the statistics accumulated so far.
@@ -453,17 +534,45 @@ impl<'a> SearchState<'a> {
                     return;
                 }
                 self.stats.candidates_checked += 1;
-                if !self.seen.insert(self.body.words()) {
-                    self.stats.rejected_duplicate += 1;
-                    return;
-                }
-                let cut = Cut::from_body(self.ctx, self.body.clone());
-                match cut.validate(self.ctx, self.constraints, true) {
-                    Ok(()) => {
-                        self.stats.valid_cuts += 1;
-                        self.cuts.push(cut);
+                match self.dedup_mode {
+                    DedupMode::DedupFirst => {
+                        if !self.seen.insert(self.body.words()) {
+                            self.stats.rejected_duplicate += 1;
+                            return;
+                        }
+                        let cut = Cut::from_body(self.ctx, self.body.clone());
+                        let class = match cut.validate(self.ctx, self.constraints, true) {
+                            Ok(()) => {
+                                self.stats.valid_cuts += 1;
+                                self.cuts.push(cut);
+                                CandidateClass::VALID
+                            }
+                            Err(rejection) => {
+                                self.stats.record_rejection(rejection);
+                                CandidateClass::of(rejection)
+                            }
+                        };
+                        if let Some(log) = &mut self.class_log {
+                            log.push(class);
+                        }
                     }
-                    Err(rejection) => self.stats.record_rejection(rejection),
+                    DedupMode::ValidateFirst => {
+                        let cut = Cut::from_body(self.ctx, self.body.clone());
+                        match cut.validate(self.ctx, self.constraints, true) {
+                            Ok(()) => {
+                                if self.seen.insert(self.body.words()) {
+                                    self.stats.valid_cuts += 1;
+                                    self.cuts.push(cut);
+                                    if let Some(log) = &mut self.class_log {
+                                        log.push(CandidateClass::VALID);
+                                    }
+                                } else {
+                                    self.stats.rejected_duplicate += 1;
+                                }
+                            }
+                            Err(rejection) => self.stats.record_rejection(rejection),
+                        }
+                    }
                 }
             }
             BodyStrategy::Rebuild => {
@@ -501,17 +610,45 @@ impl<'a> SearchState<'a> {
     /// basic algorithm, whose output/dominator couplings revisit cuts).
     pub fn report_deduped(&mut self, body: DenseNodeSet, require_io_condition: bool) {
         self.stats.candidates_checked += 1;
-        if !self.seen.insert(body.words()) {
-            self.stats.rejected_duplicate += 1;
-            return;
-        }
-        let cut = Cut::from_body(self.ctx, body);
-        match cut.validate(self.ctx, self.constraints, require_io_condition) {
-            Ok(()) => {
-                self.stats.valid_cuts += 1;
-                self.cuts.push(cut);
+        match self.dedup_mode {
+            DedupMode::DedupFirst => {
+                if !self.seen.insert(body.words()) {
+                    self.stats.rejected_duplicate += 1;
+                    return;
+                }
+                let cut = Cut::from_body(self.ctx, body);
+                let class = match cut.validate(self.ctx, self.constraints, require_io_condition) {
+                    Ok(()) => {
+                        self.stats.valid_cuts += 1;
+                        self.cuts.push(cut);
+                        CandidateClass::VALID
+                    }
+                    Err(rejection) => {
+                        self.stats.record_rejection(rejection);
+                        CandidateClass::of(rejection)
+                    }
+                };
+                if let Some(log) = &mut self.class_log {
+                    log.push(class);
+                }
             }
-            Err(rejection) => self.stats.record_rejection(rejection),
+            DedupMode::ValidateFirst => {
+                let cut = Cut::from_body(self.ctx, body);
+                match cut.validate(self.ctx, self.constraints, require_io_condition) {
+                    Ok(()) => {
+                        if self.seen.insert(cut.body().words()) {
+                            self.stats.valid_cuts += 1;
+                            self.cuts.push(cut);
+                            if let Some(log) = &mut self.class_log {
+                                log.push(CandidateClass::VALID);
+                            }
+                        } else {
+                            self.stats.rejected_duplicate += 1;
+                        }
+                    }
+                    Err(rejection) => self.stats.record_rejection(rejection),
+                }
+            }
         }
     }
 
@@ -536,6 +673,78 @@ impl<'a> SearchState<'a> {
             stats: self.stats,
         }
     }
+
+    /// Consumes the state, yielding everything the task-parallel merge needs: the
+    /// cuts, the statistics, the seen-set (whose arena lists every first-seen key in
+    /// insertion order) and the classification log paired with it.
+    pub(crate) fn finish_task(self) -> TaskHarvest {
+        TaskHarvest {
+            cuts: self.cuts,
+            stats: self.stats,
+            seen: self.seen,
+            classes: self.class_log.unwrap_or_default(),
+        }
+    }
+}
+
+/// Classification byte appended to the candidate log per first-seen key: how the
+/// candidate fared when it was first examined. The task-parallel merge replays these
+/// to reconstruct the serial run's counters exactly (see `crate::par`).
+pub(crate) struct CandidateClass;
+
+impl CandidateClass {
+    /// The candidate validated as a cut.
+    pub const VALID: u8 = 0;
+    /// Rejected with a forbidden vertex in the body.
+    pub const FORBIDDEN: u8 = 1;
+    /// Rejected for exceeding the input or output port budget.
+    pub const IO: u8 = 2;
+    /// Rejected by the connectedness requirement.
+    pub const DISCONNECTED: u8 = 3;
+    /// Rejected by the depth limit.
+    pub const DEPTH: u8 = 4;
+    /// Structurally not a cut (empty, non-convex, or violating the §3 technical
+    /// condition) — rejections without a dedicated counter.
+    pub const STRUCTURAL: u8 = 5;
+
+    /// Maps a rejection to its classification byte, mirroring
+    /// [`EnumStats::record_rejection`].
+    pub fn of(rejection: crate::cut::CutRejection) -> u8 {
+        use crate::cut::CutRejection::*;
+        match rejection {
+            Empty | NotConvex | IoCondition(_) => Self::STRUCTURAL,
+            Forbidden(_) => Self::FORBIDDEN,
+            TooManyInputs(_) | TooManyOutputs(_) => Self::IO,
+            Disconnected => Self::DISCONNECTED,
+            TooDeep(_) => Self::DEPTH,
+        }
+    }
+
+    /// Replays a classification into `stats` the way the first examination counted
+    /// it (the inverse of [`CandidateClass::of`] + `record_rejection`).
+    pub fn replay(class: u8, stats: &mut EnumStats) {
+        match class {
+            Self::VALID => stats.valid_cuts += 1,
+            Self::FORBIDDEN => stats.rejected_forbidden += 1,
+            Self::IO => stats.rejected_io += 1,
+            Self::DISCONNECTED => stats.rejected_disconnected += 1,
+            Self::DEPTH => stats.rejected_depth += 1,
+            _ => {}
+        }
+    }
+}
+
+/// What one task of a task-parallel run hands to the merge (see `crate::par`).
+pub(crate) struct TaskHarvest {
+    /// The task's cuts, in discovery order.
+    pub cuts: Vec<Cut>,
+    /// The task's local statistics.
+    pub stats: EnumStats,
+    /// The task's seen-set; its arena lists every first-seen key in insertion order.
+    pub seen: CutKeySet,
+    /// One [`CandidateClass`] byte per first-seen key (empty unless the class log was
+    /// enabled).
+    pub classes: Vec<u8>,
 }
 
 /// Insert-only hash set of packed cut-body keys.
@@ -546,7 +755,7 @@ impl<'a> SearchState<'a> {
 /// `HashSet<(Vec<NodeId>, Vec<NodeId>)>` seen-sets, which allocated two vectors per
 /// candidate and hashed node ids one by one.
 #[derive(Clone, Debug)]
-struct CutKeySet {
+pub(crate) struct CutKeySet {
     stride: usize,
     arena: Vec<u64>,
     /// Open-addressing table of key indices; `EMPTY_SLOT` marks a free slot.
@@ -557,13 +766,25 @@ struct CutKeySet {
 const EMPTY_SLOT: u32 = u32::MAX;
 
 impl CutKeySet {
-    fn new(stride: usize) -> Self {
+    pub(crate) fn new(stride: usize) -> Self {
         CutKeySet {
             stride,
             arena: Vec::new(),
             table: vec![EMPTY_SLOT; 64],
             len: 0,
         }
+    }
+
+    /// Number of distinct keys stored.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The `idx`-th inserted key (insertion order); the arena doubles as the ordered
+    /// log of first-seen candidates that the task-parallel merge walks.
+    pub(crate) fn key(&self, idx: usize) -> &[u64] {
+        let start = idx * self.stride;
+        &self.arena[start..start + self.stride]
     }
 
     fn hash(words: &[u64]) -> u64 {
@@ -584,7 +805,7 @@ impl CutKeySet {
     }
 
     /// Inserts `words`; returns `true` if the key was not already present.
-    fn insert(&mut self, words: &[u64]) -> bool {
+    pub(crate) fn insert(&mut self, words: &[u64]) -> bool {
         debug_assert_eq!(words.len(), self.stride);
         if (self.len + 1) * 4 >= self.table.len() * 3 {
             self.grow();
@@ -631,7 +852,7 @@ impl CutKeySet {
 mod tests {
     use super::*;
     use crate::config::PruningConfig;
-    use crate::incremental::incremental_cuts_with;
+    use crate::incremental::{incremental_cuts_with, IncrementalEnumerator};
     use ise_graph::{DfgBuilder, Operation};
 
     #[test]
@@ -738,6 +959,94 @@ mod tests {
         assert!(state.body().contains(a), "undo restores the cascade");
         state.pop_output();
         assert!(state.body().is_empty());
+    }
+
+    /// The §1.2 memory fallback: validate-first keeps only valid cuts in the
+    /// seen-set arena, at the cost of re-validating duplicates — the reported cut
+    /// set must be identical to dedup-first's.
+    #[test]
+    fn dedup_modes_report_identical_cuts() {
+        let mut b = DfgBuilder::new("modes");
+        let a = b.input("a");
+        let c = b.input("c");
+        let nn = b.node(Operation::Add, &[a, c]);
+        let x = b.node(Operation::Mul, &[nn, c]);
+        let y = b.node(Operation::Sub, &[nn, a]);
+        let z = b.node(Operation::Xor, &[x, y]);
+        b.mark_output(y);
+        b.mark_output(z);
+        let ctx = EnumContext::new(b.build().unwrap());
+        let constraints = Constraints::new(4, 2).unwrap();
+        let pruning = PruningConfig::all();
+        let run = |mode: DedupMode| {
+            let mut enumerator = IncrementalEnumerator::new(&ctx, &pruning);
+            run_with_options(
+                &mut enumerator,
+                &ctx,
+                &constraints,
+                &EngineOptions {
+                    dedup_mode: mode,
+                    ..EngineOptions::default()
+                },
+            )
+        };
+        let dedup_first = run(DedupMode::DedupFirst);
+        let validate_first = run(DedupMode::ValidateFirst);
+        fn keys(r: &Enumeration) -> Vec<crate::cut::CutKey<'_>> {
+            r.cuts.iter().map(Cut::key).collect()
+        }
+        assert_eq!(keys(&dedup_first), keys(&validate_first));
+        // The search shape is identical; only the dedup-dependent counters differ.
+        assert_eq!(
+            dedup_first.stats.search_nodes,
+            validate_first.stats.search_nodes
+        );
+        assert_eq!(
+            dedup_first.stats.valid_cuts,
+            validate_first.stats.valid_cuts
+        );
+        assert!(
+            dedup_first.stats.rejected_duplicate > 0,
+            "the fixture must revisit candidates"
+        );
+    }
+
+    /// The memory fallback must also cover the `report_deduped` path (the basic
+    /// algorithm), not just the transactional `check_cut`.
+    #[test]
+    fn dedup_modes_agree_on_the_report_deduped_path() {
+        use crate::basic::BasicEnumerator;
+        let mut b = DfgBuilder::new("basic-modes");
+        let a = b.input("a");
+        let c = b.input("c");
+        let nn = b.node(Operation::Add, &[a, c]);
+        let x = b.node(Operation::Mul, &[nn, c]);
+        let _y = b.node(Operation::Sub, &[nn, x]);
+        let ctx = EnumContext::new(b.build().unwrap());
+        let constraints = Constraints::new(3, 2).unwrap();
+        let run = |mode: DedupMode| {
+            let mut enumerator = BasicEnumerator::new(&ctx);
+            run_with_options(
+                &mut enumerator,
+                &ctx,
+                &constraints,
+                &EngineOptions {
+                    dedup_mode: mode,
+                    ..EngineOptions::default()
+                },
+            )
+        };
+        let dedup_first = run(DedupMode::DedupFirst);
+        let validate_first = run(DedupMode::ValidateFirst);
+        let mut df: Vec<_> = dedup_first.cuts.iter().map(Cut::key).collect();
+        let mut vf: Vec<_> = validate_first.cuts.iter().map(Cut::key).collect();
+        df.sort();
+        vf.sort();
+        assert_eq!(df, vf);
+        assert_eq!(
+            dedup_first.stats.valid_cuts,
+            validate_first.stats.valid_cuts
+        );
     }
 
     #[test]

@@ -22,13 +22,15 @@
 //! the measured gap. The Lengauer–Tarjan runs behind the completions reuse one
 //! [`LtWorkspace`], so the hot path performs no per-candidate allocations.
 
+use std::ops::Range;
+
 use ise_dominators::multi::{dominator_completions, dominator_completions_in};
 use ise_dominators::{Forward, LtWorkspace};
 use ise_graph::NodeId;
 
 use crate::config::{Constraints, PruningConfig};
 use crate::context::EnumContext;
-use crate::engine::{self, BodyStrategy, Enumerator, SearchState};
+use crate::engine::{self, BodyStrategy, EngineOptions, Enumerator, SearchState};
 use crate::result::Enumeration;
 
 /// Enumerates all valid cuts with the incremental algorithm of Figure 3 and the default
@@ -89,14 +91,29 @@ pub fn incremental_cuts_with(
     max_search_nodes: Option<usize>,
     strategy: BodyStrategy,
 ) -> Enumeration {
-    let mut enumerator = IncrementalEnumerator::new(ctx, pruning);
-    engine::run_with_strategy(
-        &mut enumerator,
+    incremental_cuts_opts(
         ctx,
         constraints,
-        max_search_nodes,
-        strategy,
+        pruning,
+        &EngineOptions {
+            max_search_nodes,
+            strategy,
+            ..EngineOptions::default()
+        },
     )
+}
+
+/// Like [`incremental_cuts_with`] with the full [`EngineOptions`] (budget, body
+/// strategy and [`crate::DedupMode`]) — the entry point of the batch drivers, which
+/// thread the CLI's `--dedup-mode` through here.
+pub fn incremental_cuts_opts(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    options: &EngineOptions,
+) -> Enumeration {
+    let mut enumerator = IncrementalEnumerator::new(ctx, pruning);
+    engine::run_with_options(&mut enumerator, ctx, constraints, options)
 }
 
 /// The Figure 3 search as an [`Enumerator`] over the shared engine.
@@ -109,6 +126,11 @@ pub struct IncrementalEnumerator<'a> {
     pruning: &'a PruningConfig,
     lt: LtWorkspace,
     completion_pool: Vec<Vec<NodeId>>,
+    /// When set, the *top-level* `PICK-OUTPUT` (no outputs chosen yet) only considers
+    /// `ctx.candidate_outputs()[range]` as the first output; deeper levels are
+    /// unrestricted. This is the task decomposition of the `par` module: each
+    /// first-output choice roots an independent subtree (see DESIGN.md §1.4).
+    root_range: Option<Range<usize>>,
 }
 
 impl<'a> IncrementalEnumerator<'a> {
@@ -119,7 +141,26 @@ impl<'a> IncrementalEnumerator<'a> {
             pruning,
             lt: LtWorkspace::new(),
             completion_pool: Vec::new(),
+            root_range: None,
         }
+    }
+
+    /// Like [`IncrementalEnumerator::new`], but restricts the *first* output choice to
+    /// the candidates at `range` within [`EnumContext::candidate_outputs`]. Running
+    /// one enumerator per range of a partition of the candidate list explores exactly
+    /// the serial search, split into independent subtrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on first use) if `range` is out of bounds for the candidate list.
+    pub fn with_root_range(
+        ctx: &'a EnumContext,
+        pruning: &'a PruningConfig,
+        range: Range<usize>,
+    ) -> Self {
+        let mut enumerator = Self::new(ctx, pruning);
+        enumerator.root_range = Some(range);
+        enumerator
     }
 
     /// `PICK-OUTPUT` of Figure 3.
@@ -132,14 +173,21 @@ impl<'a> IncrementalEnumerator<'a> {
         debug_assert!(remaining_outputs > 0);
         let ctx = self.ctx;
         let legacy = state.strategy() == BodyStrategy::Rebuild;
+        // Task decomposition: the root restriction applies only to the first output
+        // (no outputs chosen yet); subtrees below it consider every candidate.
+        let all = ctx.candidate_outputs();
+        let restricted = match &self.root_range {
+            Some(range) if state.chosen_outputs().is_empty() => &all[range.clone()],
+            _ => all,
+        };
         // Legacy fidelity: the pre-engine implementation cloned the candidate list on
         // every PICK-OUTPUT call (the engine borrows it from the context instead).
         let legacy_candidates;
         let candidates: &[NodeId] = if legacy {
-            legacy_candidates = ctx.candidate_outputs().to_vec();
+            legacy_candidates = restricted.to_vec();
             &legacy_candidates
         } else {
-            ctx.candidate_outputs()
+            restricted
         };
         for &o in candidates {
             if state.out_of_budget() {

@@ -27,6 +27,12 @@
 //! history, including the earlier rebuild-per-`CHECK-CUT` pipeline that survives as
 //! [`BodyStrategy::Rebuild`] for benchmarking.
 //!
+//! For large blocks the [`par`] module splits the incremental search at the
+//! first-output level into independent tasks and merges them deterministically —
+//! [`par::parallel_cuts`] reproduces the serial enumeration (cuts and statistics)
+//! exactly for any task and thread count on unbudgeted runs. [`DedupMode`] selects
+//! the §1.2 memory fallback (validate-before-dedup) per run.
+//!
 //! # Example
 //!
 //! ```
@@ -65,6 +71,7 @@ pub mod engine;
 mod exhaustive;
 mod incremental;
 mod merit;
+pub mod par;
 mod result;
 mod selection;
 mod stats;
@@ -75,10 +82,11 @@ pub use cone::cone;
 pub use config::{ConstraintError, Constraints, PruningConfig};
 pub use context::EnumContext;
 pub use cut::{Cut, CutKey, CutRejection};
-pub use engine::{BodyStrategy, Enumerator, SearchState};
+pub use engine::{BodyStrategy, DedupMode, EngineOptions, Enumerator, SearchState};
 pub use exhaustive::{exhaustive_cuts, ExhaustiveEnumerator, MAX_EXHAUSTIVE_CANDIDATES};
 pub use incremental::{
-    incremental_cuts, incremental_cuts_bounded, incremental_cuts_with, IncrementalEnumerator,
+    incremental_cuts, incremental_cuts_bounded, incremental_cuts_opts, incremental_cuts_with,
+    IncrementalEnumerator,
 };
 pub use merit::{estimate_merit, Merit};
 pub use result::Enumeration;

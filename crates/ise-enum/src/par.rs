@@ -1,0 +1,410 @@
+//! Intra-block task-parallel enumeration: the Figure 3 search split at the
+//! first-output level.
+//!
+//! The top level of the incremental algorithm's recursion is embarrassingly parallel:
+//! the serial `PICK-OUTPUT` loop tries every candidate first output in order, and each
+//! iteration fully unwinds the search state before the next begins (the push/pop
+//! discipline restores the arena exactly). The *only* state that crosses first-output
+//! subtrees is the de-duplication seen-set — and the seen-set never influences which
+//! nodes the search visits, only whether a repeated candidate is re-counted (see
+//! DESIGN.md §1.4 for the argument). A subtree rooted at one first output is therefore
+//! an independent task.
+//!
+//! This module splits [`EnumContext::candidate_outputs`] into contiguous ranges
+//! ([`task_ranges`]), runs the unmodified serial engine once per range
+//! ([`run_root_task`], via [`crate::IncrementalEnumerator::with_root_range`]) and
+//! merges the per-task results deterministically ([`merge_tasks`]): tasks are replayed
+//! in range order against a global seen-set, so the merged [`Enumeration`] — cuts *and*
+//! statistics — is byte-identical to the serial run for unbudgeted runs, for **any**
+//! task count and any thread count. With a per-task search budget the result is still
+//! deterministic in the task count (each subtree is truncated independently), just not
+//! equal to the serially budgeted run; batch drivers must therefore derive the task
+//! count from the block alone, never from the thread count.
+//!
+//! [`parallel_cuts`] bundles split → run-on-N-threads → merge behind one call; batch
+//! drivers with their own scheduler (the `ise` CLI's two-level work queue) call the
+//! three stages directly.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::config::{Constraints, PruningConfig};
+use crate::context::EnumContext;
+use crate::engine::{
+    BodyStrategy, CandidateClass, CutKeySet, DedupMode, EngineOptions, SearchState, TaskHarvest,
+};
+use crate::incremental::{incremental_cuts_opts, IncrementalEnumerator};
+use crate::result::Enumeration;
+use crate::stats::EnumStats;
+
+/// Configuration of one [`parallel_cuts`] run.
+#[derive(Clone, Debug, Default)]
+pub struct ParConfig {
+    /// Number of first-output tasks to split the search into (clamped to the number
+    /// of candidate outputs; `0` or `1` means run serially). The merged result is
+    /// independent of this for unbudgeted runs; with a budget it is deterministic in
+    /// the task count, so derive it from the block, not from the machine.
+    pub tasks: usize,
+    /// Worker threads executing the tasks (clamped to `[1, tasks]`). Never affects
+    /// the result, only the wall time.
+    pub threads: usize,
+    /// Engine settings shared by every task; `max_search_nodes` applies per task.
+    pub options: EngineOptions,
+}
+
+impl ParConfig {
+    /// A default-options configuration with the given task and thread counts.
+    pub fn new(tasks: usize, threads: usize) -> Self {
+        ParConfig {
+            tasks,
+            threads,
+            options: EngineOptions::default(),
+        }
+    }
+}
+
+/// What one first-output task produced; feed the outputs of a full partition, in
+/// range order, to [`merge_tasks`]. Opaque: the classification log inside is an
+/// implementation detail of the merge.
+pub struct TaskOutput {
+    harvest: TaskHarvest,
+}
+
+impl TaskOutput {
+    /// The task's local statistics (diagnostics only — the merge recomputes the
+    /// de-duplication-dependent counters globally).
+    pub fn stats(&self) -> &EnumStats {
+        &self.harvest.stats
+    }
+}
+
+/// Splits `candidate_count` first-output candidates into `tasks` contiguous ranges
+/// covering `0..candidate_count` in order (the partition [`merge_tasks`] expects).
+/// Ranges differ in length by at most one; with more tasks than candidates the excess
+/// ranges are empty.
+///
+/// # Example
+///
+/// ```
+/// let ranges = ise_enum::par::task_ranges(10, 4);
+/// assert_eq!(ranges, vec![0..2, 2..5, 5..7, 7..10]);
+/// ```
+pub fn task_ranges(candidate_count: usize, tasks: usize) -> Vec<Range<usize>> {
+    let tasks = tasks.max(1);
+    (0..tasks)
+        .map(|i| (i * candidate_count / tasks)..((i + 1) * candidate_count / tasks))
+        .collect()
+}
+
+/// Runs the serial engine over the first-output subtrees rooted at
+/// `ctx.candidate_outputs()[roots]` — one task of the decomposition. Pure function of
+/// its arguments; tasks of a partition can run on any threads in any order.
+pub fn run_root_task(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    options: &EngineOptions,
+    roots: Range<usize>,
+) -> TaskOutput {
+    let mut enumerator = IncrementalEnumerator::with_root_range(ctx, pruning, roots);
+    let mut state = SearchState::new(ctx, constraints, options.max_search_nodes, options.strategy);
+    state.set_dedup_mode(options.dedup_mode);
+    if merge_uses_class_log(options) {
+        state.enable_class_log();
+    }
+    crate::engine::Enumerator::search(&mut enumerator, &mut state);
+    TaskOutput {
+        harvest: state.finish_task(),
+    }
+}
+
+/// Whether the merge replays per-task classification logs (dedup-first incremental
+/// runs) or adds per-occurrence counters (validate-first and legacy-rebuild runs).
+fn merge_uses_class_log(options: &EngineOptions) -> bool {
+    options.dedup_mode == DedupMode::DedupFirst && options.strategy == BodyStrategy::Incremental
+}
+
+/// Merges the outputs of a full task partition (in range order) into one
+/// [`Enumeration`].
+///
+/// The merge replays each task's first-seen candidates, in task order, against a
+/// global seen-set: a candidate already seen by an earlier task is re-counted as a
+/// duplicate exactly as the serial seen-set would have counted it, and everything
+/// else replays its recorded classification. For unbudgeted runs the result — cut
+/// list order included — is byte-identical to the serial run.
+pub fn merge_tasks(
+    ctx: &EnumContext,
+    options: &EngineOptions,
+    outputs: Vec<TaskOutput>,
+) -> Enumeration {
+    let mut stats = EnumStats::new();
+    // Counters independent of de-duplication are plain sums: the tasks partition the
+    // serial top-level loop, and nothing below it reads the seen-set.
+    for out in &outputs {
+        let s = out.harvest.stats;
+        stats.candidates_checked += s.candidates_checked;
+        stats.rejected_duplicate += s.rejected_duplicate;
+        stats.dominator_runs += s.dominator_runs;
+        stats.pruned_output_output += s.pruned_output_output;
+        stats.pruned_output_input += s.pruned_output_input;
+        stats.pruned_input_input += s.pruned_input_input;
+        stats.pruned_dominator_input += s.pruned_dominator_input;
+        stats.pruned_connectedness += s.pruned_connectedness;
+        stats.pruned_build_s += s.pruned_build_s;
+        stats.search_nodes += s.search_nodes;
+    }
+
+    let stride = ctx.rooted().num_nodes().div_ceil(64);
+    let mut seen = CutKeySet::new(stride);
+    let mut cuts = Vec::new();
+    if merge_uses_class_log(options) {
+        // Dedup-first: replay every first-seen key with its recorded classification.
+        // Keys an earlier task already claimed become duplicates, exactly as the
+        // serial run would have counted them at that point of its discovery order.
+        for out in outputs {
+            let harvest = out.harvest;
+            debug_assert_eq!(harvest.seen.len(), harvest.classes.len());
+            let mut cut_iter = harvest.cuts.into_iter();
+            for (idx, &class) in harvest.classes.iter().enumerate() {
+                if seen.insert(harvest.seen.key(idx)) {
+                    CandidateClass::replay(class, &mut stats);
+                    if class == CandidateClass::VALID {
+                        cuts.push(cut_iter.next().expect("one cut per VALID entry"));
+                    }
+                } else {
+                    stats.rejected_duplicate += 1;
+                    if class == CandidateClass::VALID {
+                        // An earlier task already reported this cut.
+                        let _ = cut_iter.next().expect("one cut per VALID entry");
+                    }
+                }
+            }
+            debug_assert!(cut_iter.next().is_none(), "unconsumed task cuts");
+        }
+    } else {
+        // Validate-first (and legacy rebuild): rejections are counted per occurrence
+        // in serial runs too, so they stay plain sums; only the valid cuts need
+        // global de-duplication by body key.
+        for out in &outputs {
+            let s = out.harvest.stats;
+            stats.rejected_forbidden += s.rejected_forbidden;
+            stats.rejected_io += s.rejected_io;
+            stats.rejected_disconnected += s.rejected_disconnected;
+            stats.rejected_depth += s.rejected_depth;
+        }
+        for out in outputs {
+            for cut in out.harvest.cuts {
+                if seen.insert(cut.body().words()) {
+                    stats.valid_cuts += 1;
+                    cuts.push(cut);
+                } else {
+                    stats.rejected_duplicate += 1;
+                }
+            }
+        }
+    }
+    Enumeration { cuts, stats }
+}
+
+/// Splits the search into [`ParConfig::tasks`] first-output tasks, runs them on
+/// [`ParConfig::threads`] worker threads pulling from an atomic cursor, and merges.
+/// For unbudgeted runs the result equals [`crate::incremental_cuts_opts`] exactly
+/// (cuts and statistics); thread count never changes it.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_enum::par::{parallel_cuts, ParConfig};
+/// use ise_enum::{incremental_cuts, Constraints, EnumContext, PruningConfig};
+/// use ise_graph::{DfgBuilder, Operation};
+///
+/// let mut b = DfgBuilder::new("bb");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let n = b.node(Operation::Add, &[a, c]);
+/// let x = b.node(Operation::Shl, &[n]);
+/// let _y = b.node(Operation::Sub, &[n, c]);
+/// let ctx = EnumContext::new(b.build()?);
+/// let constraints = Constraints::new(3, 2)?;
+/// let pruning = PruningConfig::all();
+///
+/// let serial = incremental_cuts(&ctx, &constraints, &pruning);
+/// let par = parallel_cuts(&ctx, &constraints, &pruning, &ParConfig::new(2, 2));
+/// assert_eq!(par.stats, serial.stats);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parallel_cuts(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    config: &ParConfig,
+) -> Enumeration {
+    let candidates = ctx.candidate_outputs().len();
+    let tasks = config.tasks.clamp(1, candidates.max(1));
+    if tasks <= 1 {
+        return incremental_cuts_opts(ctx, constraints, pruning, &config.options);
+    }
+    let ranges = task_ranges(candidates, tasks);
+    let slots: Vec<OnceLock<TaskOutput>> = (0..tasks).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = config.threads.clamp(1, tasks);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let task = cursor.fetch_add(1, Ordering::Relaxed);
+                if task >= tasks {
+                    break;
+                }
+                let output = run_root_task(
+                    ctx,
+                    constraints,
+                    pruning,
+                    &config.options,
+                    ranges[task].clone(),
+                );
+                slots[task]
+                    .set(output)
+                    .ok()
+                    .expect("each task slot is filled exactly once");
+            });
+        }
+    });
+    let outputs: Vec<TaskOutput> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every task completed"))
+        .collect();
+    merge_tasks(ctx, &config.options, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::Cut;
+    use ise_graph::DfgBuilder;
+    use ise_graph::Operation;
+
+    /// A block whose cuts are discoverable from several first outputs, so the merge
+    /// must de-duplicate across tasks (multi-output cuts are found from either
+    /// output's subtree).
+    fn cross_task_ctx() -> EnumContext {
+        let mut b = DfgBuilder::new("cross");
+        let a = b.input("a");
+        let c = b.input("c");
+        let n = b.node(Operation::Add, &[a, c]);
+        let x = b.node(Operation::Mul, &[n, c]);
+        let y = b.node(Operation::Sub, &[n, a]);
+        let z = b.node(Operation::Xor, &[x, y]);
+        b.mark_output(x);
+        b.mark_output(y);
+        b.mark_output(z);
+        EnumContext::new(b.build().unwrap())
+    }
+
+    fn assert_identical(par: &Enumeration, serial: &Enumeration, label: &str) {
+        assert_eq!(par.stats, serial.stats, "{label}: stats diverge");
+        let par_keys: Vec<_> = par.cuts.iter().map(Cut::key).collect();
+        let serial_keys: Vec<_> = serial.cuts.iter().map(Cut::key).collect();
+        assert_eq!(par_keys, serial_keys, "{label}: cut order diverges");
+    }
+
+    #[test]
+    fn task_ranges_partition_the_candidates() {
+        for (n, tasks) in [(10, 3), (7, 7), (3, 5), (0, 2), (11, 1)] {
+            let ranges = task_ranges(n, tasks);
+            assert_eq!(ranges.len(), tasks.max(1));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges must cover 0..{n}");
+        }
+    }
+
+    #[test]
+    fn merged_tasks_reproduce_the_serial_run_exactly() {
+        let ctx = cross_task_ctx();
+        let constraints = Constraints::new(4, 2).unwrap();
+        let pruning = PruningConfig::all();
+        let serial = incremental_cuts_opts(&ctx, &constraints, &pruning, &EngineOptions::default());
+        assert!(
+            serial.stats.rejected_duplicate > 0,
+            "the fixture must exercise cross-subtree duplicates"
+        );
+        for tasks in [2, 3, ctx.candidate_outputs().len()] {
+            for threads in [1, 2, 4] {
+                let mut config = ParConfig::new(tasks, threads);
+                config.options = EngineOptions::default();
+                let par = parallel_cuts(&ctx, &constraints, &pruning, &config);
+                assert_identical(&par, &serial, &format!("tasks={tasks} threads={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_handles_every_dedup_mode_and_strategy() {
+        let ctx = cross_task_ctx();
+        let constraints = Constraints::new(3, 2).unwrap();
+        let pruning = PruningConfig::all();
+        for (dedup_mode, strategy) in [
+            (DedupMode::DedupFirst, BodyStrategy::Incremental),
+            (DedupMode::ValidateFirst, BodyStrategy::Incremental),
+            (DedupMode::DedupFirst, BodyStrategy::Rebuild),
+        ] {
+            let options = EngineOptions {
+                max_search_nodes: None,
+                strategy,
+                dedup_mode,
+            };
+            let serial = incremental_cuts_opts(&ctx, &constraints, &pruning, &options);
+            let mut config = ParConfig::new(3, 2);
+            config.options = options;
+            let par = parallel_cuts(&ctx, &constraints, &pruning, &config);
+            assert_identical(&par, &serial, &format!("{dedup_mode:?}/{strategy:?}"));
+        }
+    }
+
+    #[test]
+    fn manual_stage_pipeline_matches_the_bundled_entry_point() {
+        // Drive split → run → merge directly, as the CLI's scheduler does.
+        let ctx = cross_task_ctx();
+        let constraints = Constraints::new(4, 2).unwrap();
+        let pruning = PruningConfig::all();
+        let options = EngineOptions::default();
+        let ranges = task_ranges(ctx.candidate_outputs().len(), 2);
+        let outputs: Vec<TaskOutput> = ranges
+            .into_iter()
+            .map(|r| run_root_task(&ctx, &constraints, &pruning, &options, r))
+            .collect();
+        assert!(outputs.iter().all(|o| o.stats().search_nodes > 0));
+        let merged = merge_tasks(&ctx, &options, outputs);
+        let mut config = ParConfig::new(2, 1);
+        config.options = options;
+        let bundled = parallel_cuts(&ctx, &constraints, &pruning, &config);
+        assert_identical(&merged, &bundled, "manual vs bundled");
+    }
+
+    #[test]
+    fn budgeted_tasks_are_deterministic_in_the_task_count() {
+        let ctx = cross_task_ctx();
+        let constraints = Constraints::new(4, 2).unwrap();
+        let pruning = PruningConfig::all();
+        let options = EngineOptions {
+            max_search_nodes: Some(25),
+            ..EngineOptions::default()
+        };
+        let mut reference = None;
+        for threads in [1, 3] {
+            let mut config = ParConfig::new(3, threads);
+            config.options = options;
+            let run = parallel_cuts(&ctx, &constraints, &pruning, &config);
+            match &reference {
+                None => reference = Some(run),
+                Some(first) => assert_identical(&run, first, "budgeted determinism"),
+            }
+        }
+    }
+}

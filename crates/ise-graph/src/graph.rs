@@ -1,6 +1,7 @@
 //! The basic-block data-flow graph.
 
 use crate::bitset::DenseNodeSet;
+use crate::csr::CsrAdjacency;
 use crate::error::GraphError;
 use crate::node::{Node, NodeId};
 use crate::op::Operation;
@@ -23,8 +24,11 @@ use crate::topo::topological_order;
 pub struct Dfg {
     name: String,
     nodes: Vec<Node>,
-    preds: Vec<Vec<NodeId>>,
-    succs: Vec<Vec<NodeId>>,
+    /// Predecessor rows in CSR form (operand order preserved per row); the
+    /// [`Dfg::preds`] slice API is unchanged, only the storage is flat.
+    preds: CsrAdjacency,
+    /// Successor rows in CSR form (edge insertion order preserved per row).
+    succs: CsrAdjacency,
     external_inputs: Vec<NodeId>,
     external_outputs: Vec<NodeId>,
     forbidden: DenseNodeSet,
@@ -124,22 +128,22 @@ impl Dfg {
             }
         };
 
-        let mut preds = vec![Vec::new(); n];
-        let mut succs = vec![Vec::new(); n];
         for &(from, to) in &edges {
             check(from)?;
             check(to)?;
             if from == to {
                 return Err(GraphError::SelfLoop { node: from });
             }
-            succs[from.index()].push(to);
-            preds[to.index()].push(from);
         }
+        // Flatten both directions into CSR arenas; the stable grouping keeps each
+        // predecessor row in edge-list order, which is the operand order contract.
+        let succs = CsrAdjacency::forward(n, &edges);
+        let preds = CsrAdjacency::backward(n, &edges);
 
         let topo = topological_order(&succs, &preds).map_err(|node| GraphError::Cycle { node })?;
 
         for (i, node) in nodes.iter().enumerate() {
-            if node.op() == Operation::Input && !preds[i].is_empty() {
+            if node.op() == Operation::Input && !preds.row(NodeId::from_index(i)).is_empty() {
                 return Err(GraphError::InvalidMark {
                     node: NodeId::from_index(i),
                     reason: "external input has predecessors",
@@ -151,7 +155,7 @@ impl Dfg {
         // computation of the block.
         let external_inputs: Vec<NodeId> = (0..n)
             .map(NodeId::from_index)
-            .filter(|id| preds[id.index()].is_empty())
+            .filter(|&id| preds.row(id).is_empty())
             .collect();
 
         let mut output_set = DenseNodeSet::new(n);
@@ -160,8 +164,8 @@ impl Dfg {
             output_set.insert(id);
         }
         // Oext is a superset of the vertices without successors (§3).
-        for (i, node_succs) in succs.iter().enumerate() {
-            if node_succs.is_empty() {
+        for (i, row) in succs.rows().enumerate() {
+            if row.is_empty() {
                 output_set.insert(NodeId::from_index(i));
             }
         }
@@ -235,7 +239,7 @@ impl Dfg {
     ///
     /// Panics if `node` is out of range.
     pub fn preds(&self, node: NodeId) -> &[NodeId] {
-        &self.preds[node.index()]
+        self.preds.row(node)
     }
 
     /// Direct successors (consumers) of `node`.
@@ -244,7 +248,7 @@ impl Dfg {
     ///
     /// Panics if `node` is out of range.
     pub fn succs(&self, node: NodeId) -> &[NodeId] {
-        &self.succs[node.index()]
+        self.succs.row(node)
     }
 
     /// The external inputs `Iext`: every root vertex (no predecessors), i.e. live-in
@@ -278,15 +282,27 @@ impl Dfg {
         &self.topo
     }
 
+    /// The predecessor adjacency as its flat CSR representation (rows in operand
+    /// order) — for algorithms that take a whole direction at once
+    /// (e.g. [`crate::depths_from_roots`]) without copying rows out.
+    pub fn preds_adjacency(&self) -> &CsrAdjacency {
+        &self.preds
+    }
+
+    /// The successor adjacency as its flat CSR representation.
+    pub fn succs_adjacency(&self) -> &CsrAdjacency {
+        &self.succs
+    }
+
     /// Total number of edges.
     pub fn edge_count(&self) -> usize {
-        self.succs.iter().map(Vec::len).sum()
+        self.succs.num_edges()
     }
 
     /// Iterates over every edge as a `(from, to)` pair.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.succs
-            .iter()
+            .rows()
             .enumerate()
             .flat_map(|(i, outs)| outs.iter().map(move |&to| (NodeId::from_index(i), to)))
     }

@@ -19,6 +19,9 @@
 //!   pruning of §5.3).
 //! * [`DenseNodeSet`] — a cache-friendly fixed-capacity bit set over node ids, the
 //!   work-horse set representation used throughout the workspace.
+//! * [`CsrAdjacency`] — the flat compressed-sparse-row storage behind both graphs'
+//!   `preds()`/`succs()` rows: one edge arena plus an offset table per direction, so
+//!   the enumeration hot paths walk contiguous memory instead of per-row allocations.
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@
 
 mod bitset;
 mod builder;
+mod csr;
 mod dot;
 mod error;
 mod graph;
@@ -63,6 +67,7 @@ mod topo;
 
 pub use bitset::DenseNodeSet;
 pub use builder::DfgBuilder;
+pub use csr::CsrAdjacency;
 pub use dot::DotOptions;
 pub use error::GraphError;
 pub use graph::Dfg;
@@ -70,4 +75,4 @@ pub use node::{Node, NodeId};
 pub use op::{LatencyModel, Operation, OperationClass};
 pub use reach::Reachability;
 pub use rooted::RootedDfg;
-pub use topo::{depths_from_roots, topological_order};
+pub use topo::{depths_from_roots, topological_order, AdjacencyView};

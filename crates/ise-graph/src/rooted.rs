@@ -1,6 +1,7 @@
 //! Augmentation of a [`Dfg`] with an artificial source and sink.
 
 use crate::bitset::DenseNodeSet;
+use crate::csr::CsrAdjacency;
 use crate::graph::Dfg;
 use crate::node::NodeId;
 use crate::topo::topological_order;
@@ -45,8 +46,12 @@ pub struct RootedDfg {
     dfg: Dfg,
     source: NodeId,
     sink: NodeId,
-    preds: Vec<Vec<NodeId>>,
-    succs: Vec<Vec<NodeId>>,
+    /// Augmented predecessor rows in CSR form — this is the adjacency the engine's
+    /// support-counter cascades and `cone()` walks read, so it lives in one flat
+    /// arena rather than per-row allocations.
+    preds: CsrAdjacency,
+    /// Augmented successor rows in CSR form.
+    succs: CsrAdjacency,
     forbidden: DenseNodeSet,
     topo: Vec<NodeId>,
 }
@@ -59,30 +64,32 @@ impl RootedDfg {
         let sink = NodeId::from_index(n + 1);
         let total = n + 2;
 
-        let mut preds: Vec<Vec<NodeId>> = Vec::with_capacity(total);
-        let mut succs: Vec<Vec<NodeId>> = Vec::with_capacity(total);
-        for id in dfg.node_ids() {
-            preds.push(dfg.preds(id).to_vec());
-            succs.push(dfg.succs(id).to_vec());
+        // The two directions need differently ordered edge lists, because the CSR
+        // build groups stably by one endpoint: successor rows must keep the original
+        // succ-row (from-major) order, predecessor rows must keep operand (to-major)
+        // order. Augmentation edges are appended after the originals, so `source`
+        // stays the sole predecessor of each root and `sink` stays last in each
+        // output's successor row, matching the pre-CSR push order.
+        let extra = dfg.external_inputs().len() + dfg.external_outputs().len();
+        let mut forward_edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(dfg.edge_count() + extra);
+        forward_edges.extend(dfg.edges());
+        let mut backward_edges: Vec<(NodeId, NodeId)> =
+            Vec::with_capacity(dfg.edge_count() + extra);
+        for v in dfg.node_ids() {
+            backward_edges.extend(dfg.preds(v).iter().map(|&p| (p, v)));
         }
-        preds.push(Vec::new()); // source
-        succs.push(Vec::new());
-        preds.push(Vec::new()); // sink
-        succs.push(Vec::new());
-
-        // Source feeds every vertex without predecessors (Iext, constants, forbidden
-        // roots), making the graph rooted.
         for id in dfg.node_ids() {
             if dfg.preds(id).is_empty() {
-                preds[id.index()].push(source);
-                succs[source.index()].push(id);
+                forward_edges.push((source, id));
+                backward_edges.push((source, id));
             }
         }
-        // Every external output feeds the sink, making the reverse graph rooted.
         for &out in dfg.external_outputs() {
-            succs[out.index()].push(sink);
-            preds[sink.index()].push(out);
+            forward_edges.push((out, sink));
+            backward_edges.push((out, sink));
         }
+        let succs = CsrAdjacency::forward(total, &forward_edges);
+        let preds = CsrAdjacency::backward(total, &backward_edges);
 
         let mut forbidden = DenseNodeSet::new(total);
         for id in dfg.forbidden().iter() {
@@ -144,7 +151,7 @@ impl RootedDfg {
     ///
     /// Panics if `node` is out of range.
     pub fn preds(&self, node: NodeId) -> &[NodeId] {
-        &self.preds[node.index()]
+        self.preds.row(node)
     }
 
     /// Successors of `node` in the augmented graph.
@@ -153,7 +160,7 @@ impl RootedDfg {
     ///
     /// Panics if `node` is out of range.
     pub fn succs(&self, node: NodeId) -> &[NodeId] {
-        &self.succs[node.index()]
+        self.succs.row(node)
     }
 
     /// The effective forbidden set: `F` ∪ `Iext` ∪ {source, sink}.

@@ -1,9 +1,48 @@
-//! Topological ordering and depth computation over adjacency lists.
+//! Topological ordering and depth computation over adjacency rows.
 
+use crate::csr::CsrAdjacency;
 use crate::node::NodeId;
 
+/// Read access to per-vertex adjacency rows, implemented both by the flat
+/// [`CsrAdjacency`] and by `Vec<Vec<NodeId>>`-style nested lists, so the ordering
+/// algorithms below run on either representation (graph construction uses CSR, tests
+/// and ad-hoc callers use nested lists).
+pub trait AdjacencyView {
+    /// Number of vertices.
+    fn node_count(&self) -> usize;
+    /// The neighbour row of `node`.
+    fn row_of(&self, node: NodeId) -> &[NodeId];
+}
+
+impl AdjacencyView for [Vec<NodeId>] {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+    fn row_of(&self, node: NodeId) -> &[NodeId] {
+        &self[node.index()]
+    }
+}
+
+impl AdjacencyView for Vec<Vec<NodeId>> {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+    fn row_of(&self, node: NodeId) -> &[NodeId] {
+        &self[node.index()]
+    }
+}
+
+impl AdjacencyView for CsrAdjacency {
+    fn node_count(&self) -> usize {
+        self.num_nodes()
+    }
+    fn row_of(&self, node: NodeId) -> &[NodeId] {
+        self.row(node)
+    }
+}
+
 /// Computes a topological order (producers before consumers) of a DAG given as parallel
-/// successor/predecessor adjacency lists.
+/// successor/predecessor adjacency views.
 ///
 /// # Errors
 ///
@@ -19,13 +58,16 @@ use crate::node::NodeId;
 /// let order = topological_order(&succs, &preds).unwrap();
 /// assert_eq!(order, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
 /// ```
-pub fn topological_order(
-    succs: &[Vec<NodeId>],
-    preds: &[Vec<NodeId>],
-) -> Result<Vec<NodeId>, NodeId> {
-    let n = succs.len();
-    debug_assert_eq!(n, preds.len());
-    let mut in_degree: Vec<usize> = preds.iter().map(Vec::len).collect();
+pub fn topological_order<S, P>(succs: &S, preds: &P) -> Result<Vec<NodeId>, NodeId>
+where
+    S: AdjacencyView + ?Sized,
+    P: AdjacencyView + ?Sized,
+{
+    let n = succs.node_count();
+    debug_assert_eq!(n, preds.node_count());
+    let mut in_degree: Vec<usize> = (0..n)
+        .map(|i| preds.row_of(NodeId::from_index(i)).len())
+        .collect();
     let mut ready: Vec<NodeId> = (0..n)
         .filter(|&i| in_degree[i] == 0)
         .map(NodeId::from_index)
@@ -33,7 +75,7 @@ pub fn topological_order(
     let mut order = Vec::with_capacity(n);
     while let Some(node) = ready.pop() {
         order.push(node);
-        for &succ in &succs[node.index()] {
+        for &succ in succs.row_of(node) {
             in_degree[succ.index()] -= 1;
             if in_degree[succ.index()] == 0 {
                 ready.push(succ);
@@ -67,11 +109,15 @@ pub fn topological_order(
 /// let preds = vec![vec![], vec![NodeId::new(0)], vec![NodeId::new(1)]];
 /// assert_eq!(depths_from_roots(&succs, &preds), vec![0, 1, 2]);
 /// ```
-pub fn depths_from_roots(succs: &[Vec<NodeId>], preds: &[Vec<NodeId>]) -> Vec<u32> {
+pub fn depths_from_roots<S, P>(succs: &S, preds: &P) -> Vec<u32>
+where
+    S: AdjacencyView + ?Sized,
+    P: AdjacencyView + ?Sized,
+{
     let order = topological_order(succs, preds).expect("depths require an acyclic graph");
-    let mut depth = vec![0u32; succs.len()];
+    let mut depth = vec![0u32; succs.node_count()];
     for &node in &order {
-        for &succ in &succs[node.index()] {
+        for &succ in succs.row_of(node) {
             depth[succ.index()] = depth[succ.index()].max(depth[node.index()] + 1);
         }
     }
@@ -106,6 +152,23 @@ mod tests {
     }
 
     #[test]
+    fn csr_and_nested_views_agree() {
+        let edges = [(n(0), n(2)), (n(1), n(2)), (n(2), n(3)), (n(2), n(4))];
+        let succs_csr = CsrAdjacency::forward(5, &edges);
+        let preds_csr = CsrAdjacency::backward(5, &edges);
+        let succs = vec![vec![n(2)], vec![n(2)], vec![n(3), n(4)], vec![], vec![]];
+        let preds = vec![vec![], vec![], vec![n(0), n(1)], vec![n(2)], vec![n(2)]];
+        assert_eq!(
+            topological_order(&succs_csr, &preds_csr).unwrap(),
+            topological_order(&succs, &preds).unwrap()
+        );
+        assert_eq!(
+            depths_from_roots(&succs_csr, &preds_csr),
+            depths_from_roots(&succs, &preds)
+        );
+    }
+
+    #[test]
     fn depths_follow_longest_path() {
         // 0 -> 1 -> 3, 0 -> 2 -> 3, 2 -> 4 -> 3  (longest path to 3 has 3 edges)
         let succs = vec![
@@ -127,8 +190,8 @@ mod tests {
 
     #[test]
     fn isolated_nodes_have_depth_zero() {
-        let succs = vec![vec![], vec![]];
-        let preds = vec![vec![], vec![]];
+        let succs: Vec<Vec<NodeId>> = vec![vec![], vec![]];
+        let preds: Vec<Vec<NodeId>> = vec![vec![], vec![]];
         assert_eq!(depths_from_roots(&succs, &preds), vec![0, 0]);
     }
 }

@@ -76,3 +76,46 @@ fn batch_cli_counts_equal_direct_engine_runs_for_any_thread_count() {
     };
     assert_eq!(aggregate(&single), aggregate(&eight));
 }
+
+/// PR 4 extension of the invariance above, down to task-level sharding: with
+/// intra-block fan-out forced on every (small) committed block, any thread count and
+/// the serial whole-block runs must all report identical outcomes — statistics
+/// included, since the task merge replays the serial discovery order exactly.
+#[test]
+fn task_level_sharding_is_invariant_on_the_committed_corpus() {
+    let blocks: Vec<CorpusBlock> = committed_corpus()
+        .into_iter()
+        .filter(|b| b.dfg.len() <= 50)
+        .collect();
+    assert!(blocks.len() >= 5, "expected several small committed blocks");
+
+    let constraints = Constraints::new(4, 2).unwrap();
+    let config = |threads: usize, par_threshold: usize| {
+        let mut cfg = BatchConfig::new(constraints.clone());
+        cfg.threads = threads;
+        cfg.par_threshold = par_threshold;
+        cfg
+    };
+
+    // Whole blocks on one thread is the serial reference.
+    let serial = run_batch(&blocks, &config(1, usize::MAX));
+    for threads in [1, 8] {
+        let fanned = run_batch(&blocks, &config(threads, 1));
+        assert_eq!(serial.len(), fanned.len());
+        let mut total = 0usize;
+        for (a, b) in serial.iter().zip(&fanned) {
+            assert_eq!(a.name, b.name);
+            assert!(b.tasks > 1, "{} did not fan out", b.name);
+            assert_eq!(
+                a.enumeration.stats, b.enumeration.stats,
+                "task sharding changed the stats of {} at {threads} threads",
+                a.name
+            );
+            let ak: Vec<_> = a.enumeration.cuts.iter().map(|c| c.key()).collect();
+            let bk: Vec<_> = b.enumeration.cuts.iter().map(|c| c.key()).collect();
+            assert_eq!(ak, bk, "task sharding changed the cuts of {}", a.name);
+            total += b.enumeration.cuts.len();
+        }
+        assert!(total > 0, "the small committed blocks have cuts");
+    }
+}

@@ -1,0 +1,133 @@
+//! Task-parallel enumeration equivalence: `par(tasks=k, threads=t)` must reproduce
+//! the serial `run_on_graph` result — the cut list *and* the statistics — across all
+//! four `ise-workloads` families, every §5.3 pruning combination, and several
+//! (tasks, threads) configurations. This is the end-to-end form of the DESIGN.md §1.4
+//! argument that first-output subtrees are independent and the merge replays the
+//! serial de-duplication order.
+
+use ise_repro::ise_enum::par::{parallel_cuts, ParConfig};
+use ise_repro::ise_enum::{
+    incremental_cuts_opts, Constraints, Cut, CutKey, DedupMode, EngineOptions, EnumContext,
+    Enumeration, PruningConfig,
+};
+use ise_repro::ise_graph::Dfg;
+use ise_repro::ise_workloads::compile_block;
+use ise_repro::ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
+use ise_repro::ise_workloads::random_dag::{random_dag, RandomDagConfig};
+use ise_repro::ise_workloads::tree::{TreeDfgBuilder, TreeOrientation};
+
+/// One small graph per workload family (kept tiny: the full test sweeps 64 pruning
+/// masks × several parallel configurations per graph).
+fn family_graphs() -> Vec<Dfg> {
+    vec![
+        TreeDfgBuilder::new(3).build(),
+        TreeDfgBuilder::new(3)
+            .with_orientation(TreeOrientation::FanIn)
+            .build(),
+        random_dag(
+            &RandomDagConfig::new(14)
+                .with_live_ins(3)
+                .with_memory_ratio(0.2),
+            23,
+        ),
+        generate_block(&MiBenchLikeConfig::new(20), 5).expect("generator output is valid"),
+        compile_block("expr", "x = (a + b) * (c + b); y = (a + b) - c; z = x ^ y;")
+            .expect("expression compiles"),
+    ]
+}
+
+fn pruning_from_mask(mask: u8) -> PruningConfig {
+    PruningConfig {
+        output_output: mask & 0x01 != 0,
+        connectedness: mask & 0x02 != 0,
+        build_s: mask & 0x04 != 0,
+        output_input: mask & 0x08 != 0,
+        input_input: mask & 0x10 != 0,
+        dominator_input: mask & 0x20 != 0,
+    }
+}
+
+fn keys(result: &Enumeration) -> Vec<CutKey<'_>> {
+    result.cuts.iter().map(Cut::key).collect()
+}
+
+/// The headline property: parallel ≡ serial, exactly, per family × pruning mask ×
+/// (tasks, threads) — statistics included, so even the duplicate accounting of the
+/// merge must replay the serial discovery order.
+#[test]
+fn parallel_equals_serial_across_families_and_prunings() {
+    for dfg in family_graphs() {
+        let name = dfg.name().to_string();
+        let ctx = EnumContext::new(dfg);
+        let constraints = Constraints::new(3, 2).unwrap();
+        for mask in 0u8..64 {
+            let pruning = pruning_from_mask(mask);
+            let serial =
+                incremental_cuts_opts(&ctx, &constraints, &pruning, &EngineOptions::default());
+            for (tasks, threads) in [(2, 2), (5, 3)] {
+                let par = parallel_cuts(
+                    &ctx,
+                    &constraints,
+                    &pruning,
+                    &ParConfig::new(tasks, threads),
+                );
+                assert_eq!(
+                    par.stats, serial.stats,
+                    "`{name}` mask {mask:#08b} tasks={tasks} threads={threads}: stats"
+                );
+                assert_eq!(
+                    keys(&par),
+                    keys(&serial),
+                    "`{name}` mask {mask:#08b} tasks={tasks} threads={threads}: cuts"
+                );
+            }
+        }
+    }
+}
+
+/// The same equivalence holds under the validate-first memory fallback and under
+/// connected-only constraints.
+#[test]
+fn parallel_equals_serial_under_dedup_modes_and_connectedness() {
+    for dfg in family_graphs() {
+        let name = dfg.name().to_string();
+        let ctx = EnumContext::new(dfg);
+        for constraints in [
+            Constraints::new(4, 2).unwrap(),
+            Constraints::new(2, 2).unwrap().connected_only(true),
+        ] {
+            for dedup_mode in [DedupMode::DedupFirst, DedupMode::ValidateFirst] {
+                let options = EngineOptions {
+                    dedup_mode,
+                    ..EngineOptions::default()
+                };
+                let pruning = PruningConfig::all();
+                let serial = incremental_cuts_opts(&ctx, &constraints, &pruning, &options);
+                let mut config = ParConfig::new(4, 2);
+                config.options = options;
+                let par = parallel_cuts(&ctx, &constraints, &pruning, &config);
+                assert_eq!(
+                    par.stats,
+                    serial.stats,
+                    "`{name}` {dedup_mode:?} connected={}",
+                    constraints.is_connected_only()
+                );
+                assert_eq!(keys(&par), keys(&serial), "`{name}` {dedup_mode:?}");
+            }
+        }
+    }
+}
+
+/// Oversplitting beyond the candidate count must degrade gracefully (empty tasks)
+/// and still reproduce the serial result.
+#[test]
+fn more_tasks_than_candidates_is_harmless() {
+    let dfg = random_dag(&RandomDagConfig::new(10).with_live_ins(2), 7);
+    let ctx = EnumContext::new(dfg);
+    let constraints = Constraints::new(3, 2).unwrap();
+    let pruning = PruningConfig::all();
+    let serial = incremental_cuts_opts(&ctx, &constraints, &pruning, &EngineOptions::default());
+    let par = parallel_cuts(&ctx, &constraints, &pruning, &ParConfig::new(1000, 8));
+    assert_eq!(par.stats, serial.stats);
+    assert_eq!(keys(&par), keys(&serial));
+}
