@@ -37,6 +37,22 @@ impl Flags {
     /// assert!(Flags::parse(&args, &["threads"]).is_err(), "corpus not allowed");
     /// ```
     pub fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+        Self::parse_with_switches(args, allowed, &[])
+    }
+
+    /// Like [`Flags::parse`], but additionally accepts the valueless *switches*
+    /// listed in `switches` (for example `--global`): a switch never consumes the
+    /// next argument and is stored as the value `true`, queryable through
+    /// [`Flags::bool`]. An inline value (`--global=yes`) on a switch is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] under the same conditions as [`Flags::parse`].
+    pub fn parse_with_switches(
+        args: &[String],
+        allowed: &[&str],
+        switches: &[&str],
+    ) -> Result<Flags, CliError> {
         let mut values = HashMap::new();
         let mut rest = args.iter().peekable();
         while let Some(arg) = rest.next() {
@@ -49,19 +65,27 @@ impl Flags {
                 Some((key, value)) => (key, Some(value.to_string())),
                 None => (flag, None),
             };
-            if !allowed.contains(&key) {
+            let value = if switches.contains(&key) {
+                if inline_value.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "switch `--{key}` does not take a value"
+                    )));
+                }
+                "true".to_string()
+            } else if allowed.contains(&key) {
+                match inline_value {
+                    Some(value) => value,
+                    None => match rest.peek() {
+                        Some(next) if !next.starts_with("--") => {
+                            rest.next().expect("peeked value exists").clone()
+                        }
+                        _ => {
+                            return Err(CliError::Usage(format!("flag `--{key}` needs a value")));
+                        }
+                    },
+                }
+            } else {
                 return Err(CliError::Usage(format!("unknown flag `--{key}`")));
-            }
-            let value = match inline_value {
-                Some(value) => value,
-                None => match rest.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        rest.next().expect("peeked value exists").clone()
-                    }
-                    _ => {
-                        return Err(CliError::Usage(format!("flag `--{key}` needs a value")));
-                    }
-                },
             };
             if values.insert(key.to_string(), value).is_some() {
                 return Err(CliError::Usage(format!("flag `--{key}` given twice")));
@@ -153,6 +177,25 @@ mod tests {
         assert!(err.to_string().contains("`--out` needs a value"), "{err}");
         let err = Flags::parse(&argv(&["--out"]), allowed).unwrap_err();
         assert!(err.to_string().contains("`--out` needs a value"), "{err}");
+    }
+
+    #[test]
+    fn switches_take_no_value_and_do_not_swallow_arguments() {
+        let flags = Flags::parse_with_switches(
+            &argv(&["--global", "--out", "r.json"]),
+            &["out"],
+            &["global"],
+        )
+        .unwrap();
+        assert!(flags.bool("global", false).unwrap());
+        assert_eq!(flags.string("out", "-"), "r.json");
+        // Absent switch defaults to false; inline values and duplicates error.
+        let flags = Flags::parse_with_switches(&argv(&[]), &["out"], &["global"]).unwrap();
+        assert!(!flags.bool("global", false).unwrap());
+        assert!(Flags::parse_with_switches(&argv(&["--global=yes"]), &[], &["global"]).is_err());
+        assert!(
+            Flags::parse_with_switches(&argv(&["--global", "--global"]), &[], &["global"]).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Corpus-wide grouping and global selection: the `ise group` subcommand and the
+//! `ise select --global` mode.
+//!
+//! Both start from the batch enumeration ([`crate::batch::run_batch`]): every
+//! block's cut list is canonicalized ([`ise_canon::canonicalize_cuts`]) — in
+//! parallel across blocks, since coding is pure per-block work — and merged into a
+//! [`PatternIndex`] strictly in corpus order. The index is therefore a
+//! deterministic function of the corpus and the enumeration flags: `--threads`
+//! never changes a byte of the JSON output (the CI grouping smoke diffs stripped
+//! runs at different thread counts).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::batch::BlockOutcome;
+use crate::report::{batch_json_with, RunMeta};
+use ise_bench::json::Json;
+use ise_canon::{
+    canonicalize_cuts, select_ises_global, CodedCut, GlobalSelection, GroupConfig, PatternIndex,
+};
+use ise_corpus::CorpusBlock;
+use ise_enum::{Cut, EnumContext};
+
+/// Builds the pattern index over the batch outcomes.
+///
+/// Canonicalization runs on up to `threads` workers (one block per task; the
+/// per-block context is rebuilt for merit estimation); the merge into the index is
+/// sequential in block order, so the result is identical for every thread count.
+/// Block profile weights come from the `weight` meta key
+/// ([`CorpusBlock::weight`]).
+pub fn group_outcomes(
+    blocks: &[CorpusBlock],
+    outcomes: &[BlockOutcome],
+    config: &GroupConfig,
+    threads: usize,
+) -> PatternIndex {
+    let coded: Vec<OnceLock<Vec<CodedCut>>> =
+        (0..outcomes.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.max(1).min(outcomes.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(outcome) = outcomes.get(i) else {
+                    break;
+                };
+                let ctx = EnumContext::new(blocks[outcome.index].dfg.clone());
+                let block_coded = canonicalize_cuts(&ctx, &outcome.enumeration.cuts, config);
+                coded[i]
+                    .set(block_coded)
+                    .expect("each block is coded exactly once");
+            });
+        }
+    });
+    let mut index = PatternIndex::new(config.clone());
+    for (outcome, cell) in outcomes.iter().zip(coded) {
+        let block_coded = cell.into_inner().expect("every block was coded");
+        index.add_coded_block(block_coded, blocks[outcome.index].weight());
+    }
+    index
+}
+
+/// Renders the machine-readable result of `ise group`
+/// (schema `ise-cli/group/v1`): run metadata, one light row per block, and the
+/// pattern table ranked by profile-weighted potential saving (first-seen order on
+/// ties). Patterns with fewer than `min_count` occurrences are omitted from the
+/// table but still counted in the aggregate.
+pub fn group_json(
+    index: &PatternIndex,
+    outcomes: &[BlockOutcome],
+    meta: &RunMeta,
+    min_count: usize,
+) -> Json {
+    let blocks: Vec<Json> = outcomes
+        .iter()
+        .map(|o| {
+            Json::object([
+                ("name", Json::str(o.name.clone())),
+                ("nodes", Json::uint(o.nodes)),
+                ("cuts", Json::uint(o.enumeration.cuts.len())),
+                ("elapsed_seconds", Json::num(o.elapsed.as_secs_f64())),
+            ])
+        })
+        .collect();
+    let shown: Vec<usize> = index
+        .ranked()
+        .into_iter()
+        .filter(|&e| index.entries()[e].static_count() >= min_count)
+        .collect();
+    let patterns: Vec<Json> = shown
+        .iter()
+        .map(|&e| {
+            let entry = &index.entries()[e];
+            Json::object([
+                ("hash", Json::str(entry.code.hex())),
+                ("size", Json::uint(entry.size)),
+                ("inputs", Json::uint(entry.inputs)),
+                ("outputs", Json::uint(entry.outputs)),
+                ("ops", Json::str(entry.ops.clone())),
+                ("count", Json::uint(entry.static_count())),
+                ("weighted_count", Json::num(entry.weighted_count)),
+                ("blocks", Json::uint(entry.distinct_blocks())),
+                (
+                    "example_block",
+                    Json::str(outcomes[entry.example().block].name.clone()),
+                ),
+                ("saved_cycles", Json::uint(entry.saved_cycles as usize)),
+                (
+                    "potential_saved_cycles",
+                    Json::UInt(entry.potential_saved_cycles()),
+                ),
+            ])
+        })
+        .collect();
+
+    let recurring = index
+        .entries()
+        .iter()
+        .filter(|e| e.static_count() >= 2)
+        .count();
+    let cross_block = index
+        .entries()
+        .iter()
+        .filter(|e| e.distinct_blocks() >= 2)
+        .count();
+    let potential: u64 = index
+        .entries()
+        .iter()
+        .map(ise_canon::PatternEntry::potential_saved_cycles)
+        .sum();
+    Json::object([
+        ("schema", Json::str("ise-cli/group/v1")),
+        ("corpus", Json::str(meta.corpus.clone())),
+        ("nin", Json::uint(meta.nin)),
+        ("nout", Json::uint(meta.nout)),
+        ("threads", Json::uint(meta.threads)),
+        ("budget", meta.budget.map_or(Json::Null, Json::uint)),
+        ("min_count", Json::uint(min_count)),
+        ("blocks", Json::Array(blocks)),
+        ("patterns", Json::Array(patterns)),
+        (
+            "aggregate",
+            Json::object([
+                ("blocks", Json::uint(outcomes.len())),
+                ("total_cuts", Json::uint(index.total_cuts())),
+                ("patterns", Json::uint(index.len())),
+                ("recurring_patterns", Json::uint(recurring)),
+                ("cross_block_patterns", Json::uint(cross_block)),
+                ("shown_patterns", Json::uint(shown.len())),
+                ("potential_saved_cycles", Json::UInt(potential)),
+                ("elapsed_seconds", Json::num(meta.elapsed.as_secs_f64())),
+            ]),
+        ),
+    ])
+}
+
+/// Renders the human-readable markdown companion of [`group_json`], showing at most
+/// `top` patterns.
+pub fn group_markdown(
+    index: &PatternIndex,
+    outcomes: &[BlockOutcome],
+    meta: &RunMeta,
+    min_count: usize,
+    top: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "# ISE pattern grouping report\n").expect("writing to a String cannot fail");
+    let recurring = index
+        .entries()
+        .iter()
+        .filter(|e| e.static_count() >= 2)
+        .count();
+    writeln!(
+        out,
+        "Corpus `{}` — {} blocks, {} cuts, **{} distinct patterns** \
+         ({} recurring), Nin={}, Nout={}.\n",
+        meta.corpus,
+        outcomes.len(),
+        index.total_cuts(),
+        index.len(),
+        recurring,
+        meta.nin,
+        meta.nout,
+    )
+    .expect("writing to a String cannot fail");
+    out.push_str(
+        "| pattern | size | in | out | ops | count | blocks | example | saved/occ | est. saving |\n\
+         |---|---:|---:|---:|---|---:|---:|---|---:|---:|\n",
+    );
+    for &e in index
+        .ranked()
+        .iter()
+        .filter(|&&e| index.entries()[e].static_count() >= min_count)
+        .take(top)
+    {
+        let entry = &index.entries()[e];
+        writeln!(
+            out,
+            "| `{}` | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            entry.code.hex(),
+            entry.size,
+            entry.inputs,
+            entry.outputs,
+            entry.ops,
+            entry.static_count(),
+            entry.distinct_blocks(),
+            outcomes[entry.example().block].name,
+            entry.saved_cycles,
+            entry.potential_saved_cycles(),
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Runs grouping plus corpus-level selection over the batch outcomes and renders
+/// the `ise select --global` report (schema `ise-cli/select/v1`, `"mode":"global"`).
+///
+/// Returns the JSON document, the markdown companion, and the selection itself (for
+/// tests and callers that keep processing).
+pub fn global_select_report(
+    blocks: &[CorpusBlock],
+    outcomes: &[BlockOutcome],
+    meta: &RunMeta,
+    config: &GroupConfig,
+    max_patterns: usize,
+) -> (Json, String, GlobalSelection) {
+    let index = group_outcomes(blocks, outcomes, config, meta.threads);
+    let views: Vec<&[Cut]> = outcomes
+        .iter()
+        .map(|o| o.enumeration.cuts.as_slice())
+        .collect();
+    let selection = select_ises_global(&index, &views, max_patterns);
+
+    let model = &config.model;
+    let software: Vec<u64> = blocks
+        .iter()
+        .map(|b| {
+            b.dfg
+                .node_ids()
+                .map(|v| u64::from(model.software_cycles(b.dfg.op(v))))
+                .sum()
+        })
+        .collect();
+
+    let patterns: Vec<Json> = selection
+        .chosen
+        .iter()
+        .map(|choice| {
+            let entry = &index.entries()[choice.entry];
+            Json::object([
+                ("hash", Json::str(entry.code.hex())),
+                ("size", Json::uint(entry.size)),
+                ("ops", Json::str(entry.ops.clone())),
+                ("occurrences", Json::uint(entry.static_count())),
+                ("placed", Json::uint(choice.placed.len())),
+                (
+                    "saved_per_occurrence",
+                    Json::uint(entry.saved_cycles as usize),
+                ),
+                ("saved_cycles", Json::UInt(choice.saved_cycles)),
+            ])
+        })
+        .collect();
+    let per_block: Vec<Json> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(b, o)| {
+            let saved = selection.per_block_saved_cycles[b];
+            Json::object([
+                ("name", Json::str(o.name.clone())),
+                ("saved_cycles", Json::UInt(saved)),
+                ("software_cycles", Json::UInt(software[b])),
+                ("speedup", Json::num(block_speedup(software[b], saved))),
+            ])
+        })
+        .collect();
+    let json = batch_json_with(
+        meta,
+        outcomes,
+        vec![
+            ("mode", Json::str("global")),
+            ("max_patterns", Json::uint(max_patterns)),
+            ("patterns", Json::Array(patterns)),
+            ("per_block", Json::Array(per_block)),
+        ],
+        vec![
+            ("total_selected", Json::uint(selection.chosen.len())),
+            (
+                "total_saved_cycles",
+                Json::UInt(selection.total_saved_cycles),
+            ),
+            (
+                "weighted_saved_cycles",
+                Json::num(selection.weighted_saved_cycles),
+            ),
+        ],
+    );
+
+    let markdown = global_select_markdown(&index, outcomes, meta, &selection, &software);
+    (json, markdown, selection)
+}
+
+fn global_select_markdown(
+    index: &PatternIndex,
+    outcomes: &[BlockOutcome],
+    meta: &RunMeta,
+    selection: &GlobalSelection,
+    software: &[u64],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "# ISE global selection report\n").expect("writing to a String cannot fail");
+    writeln!(
+        out,
+        "Corpus `{}` — {} blocks, {} distinct patterns; {} custom instruction{} \
+         selected corpus-wide, {} cycles saved per full-corpus execution.\n",
+        meta.corpus,
+        outcomes.len(),
+        index.len(),
+        selection.chosen.len(),
+        if selection.chosen.len() == 1 { "" } else { "s" },
+        selection.total_saved_cycles,
+    )
+    .expect("writing to a String cannot fail");
+    out.push_str(
+        "| pattern | ops | occurrences | placed | saved/occ | saved cycles |\n\
+         |---|---|---:|---:|---:|---:|\n",
+    );
+    for choice in &selection.chosen {
+        let entry = &index.entries()[choice.entry];
+        writeln!(
+            out,
+            "| `{}` | {} | {} | {} | {} | {} |",
+            entry.code.hex(),
+            entry.ops,
+            entry.static_count(),
+            choice.placed.len(),
+            entry.saved_cycles,
+            choice.saved_cycles,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("\n| block | software cycles | saved | speedup |\n|---|---:|---:|---:|\n");
+    for (b, o) in outcomes.iter().enumerate() {
+        let saved = selection.per_block_saved_cycles[b];
+        writeln!(
+            out,
+            "| {} | {} | {} | {:.2}x |",
+            o.name,
+            software[b],
+            saved,
+            block_speedup(software[b], saved)
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Estimated block speedup: software cycles over the cycles remaining after the
+/// saving (mirroring `ise_enum::Selection::block_speedup`, including its saturated
+/// everything-saved case).
+fn block_speedup(software_cycles: u64, saved_cycles: u64) -> f64 {
+    if software_cycles > saved_cycles {
+        software_cycles as f64 / (software_cycles - saved_cycles) as f64
+    } else {
+        software_cycles.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{run_batch, BatchConfig};
+    use ise_corpus::parse_corpus;
+    use ise_enum::Constraints;
+    use std::time::Duration;
+
+    fn demo_blocks() -> Vec<CorpusBlock> {
+        parse_corpus(
+            "dfg alpha\nmeta weight 2\nnode 0 in @a\nnode 1 in @x\nnode 2 in @acc\n\
+             node 3 mul\nnode 4 add\nedge 0 3\nedge 1 3\nedge 3 4\nedge 2 4\noutput 4\nend\n\
+             dfg beta\nnode 0 in @p\nnode 1 in @q\nnode 2 in @r\n\
+             node 3 mul\nnode 4 add\nedge 0 3\nedge 1 3\nedge 3 4\nedge 2 4\noutput 4\nend\n",
+        )
+        .expect("demo corpus parses")
+    }
+
+    fn meta(threads: usize) -> RunMeta {
+        RunMeta {
+            corpus: "demo".into(),
+            nin: 3,
+            nout: 1,
+            threads,
+            budget: None,
+            par_threshold: crate::batch::DEFAULT_PAR_THRESHOLD,
+            dedup_mode: ise_enum::DedupMode::DedupFirst,
+            select: true,
+            elapsed: Duration::from_millis(2),
+        }
+    }
+
+    fn outcomes(blocks: &[CorpusBlock], threads: usize) -> Vec<BlockOutcome> {
+        let mut cfg = BatchConfig::new(Constraints::new(3, 1).unwrap());
+        cfg.threads = threads;
+        run_batch(blocks, &cfg)
+    }
+
+    #[test]
+    fn grouping_recognizes_the_recurring_mac_and_weights_it() {
+        let blocks = demo_blocks();
+        let outcomes = outcomes(&blocks, 2);
+        let config = GroupConfig::new(3, 1);
+        let index = group_outcomes(&blocks, &outcomes, &config, 2);
+        let mac = index
+            .entries()
+            .iter()
+            .find(|e| e.ops == "add+mul")
+            .expect("MAC pattern recurs");
+        assert_eq!(mac.static_count(), 2);
+        assert_eq!(mac.distinct_blocks(), 2);
+        assert!(
+            (mac.weighted_count - 3.0).abs() < 1e-9,
+            "weight 2 + weight 1"
+        );
+    }
+
+    #[test]
+    fn grouping_is_thread_count_invariant() {
+        let blocks = demo_blocks();
+        let config = GroupConfig::new(3, 1);
+        let base = group_outcomes(&blocks, &outcomes(&blocks, 1), &config, 1);
+        for threads in [2, 4] {
+            let other = group_outcomes(&blocks, &outcomes(&blocks, threads), &config, threads);
+            let render = |index: &PatternIndex, t: usize| {
+                group_json(index, &outcomes(&blocks, t), &meta(t), 1).render()
+            };
+            // Strip wall times; everything else must match byte for byte.
+            let strip = |s: String| {
+                s.split(',')
+                    .filter(|f| !f.contains("_seconds"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            assert_eq!(strip(render(&base, 1)), strip(render(&other, 1)));
+        }
+    }
+
+    #[test]
+    fn group_json_and_markdown_report_patterns() {
+        let blocks = demo_blocks();
+        let outcomes = outcomes(&blocks, 1);
+        let config = GroupConfig::new(3, 1);
+        let index = group_outcomes(&blocks, &outcomes, &config, 1);
+        let json = group_json(&index, &outcomes, &meta(1), 1).render();
+        assert!(json.contains(r#""schema":"ise-cli/group/v1""#), "{json}");
+        assert!(json.contains(r#""cross_block_patterns":"#), "{json}");
+        assert!(json.contains(r#""example_block":"alpha""#), "{json}");
+        let md = group_markdown(&index, &outcomes, &meta(1), 1, 10);
+        assert!(md.starts_with("# ISE pattern grouping report"));
+        assert!(md.contains("| pattern | size |"));
+        assert!(md.contains("add+mul"));
+        // min_count filters the table (every pattern of the twin-block demo corpus
+        // occurs exactly twice, so a threshold of 3 empties it).
+        let filtered = group_json(&index, &outcomes, &meta(1), 3).render();
+        assert!(filtered.contains(r#""min_count":3"#));
+        assert!(filtered.contains(r#""shown_patterns":0"#), "{filtered}");
+        assert!(filtered.len() < json.len());
+    }
+
+    #[test]
+    fn global_selection_credits_recurrence_end_to_end() {
+        let blocks = demo_blocks();
+        let outcomes = outcomes(&blocks, 1);
+        let config = GroupConfig::new(3, 1);
+        let (json, md, selection) = global_select_report(&blocks, &outcomes, &meta(1), &config, 0);
+        assert!(!selection.chosen.is_empty());
+        let text = json.render();
+        assert!(text.contains(r#""schema":"ise-cli/select/v1""#), "{text}");
+        assert!(text.contains(r#""mode":"global""#), "{text}");
+        assert!(text.contains(r#""total_selected":"#), "{text}");
+        assert!(text.contains(r#""per_block":"#), "{text}");
+        assert!(md.starts_with("# ISE global selection report"));
+        assert!(md.contains("speedup"));
+        assert_eq!(
+            selection.per_block_saved_cycles.iter().sum::<u64>(),
+            selection.total_saved_cycles
+        );
+    }
+}

@@ -1,18 +1,23 @@
 //! The `ise` command-line driver: corpus-scale enumeration, selection and reporting.
 //!
 //! This crate turns the single-graph engine of [`ise_enum`] into a batch tool over
-//! serialized corpora (see [`ise_corpus`] for the `.dfg` format). Three subcommands:
+//! serialized corpora (see [`ise_corpus`] for the `.dfg` format). Four subcommands:
 //!
 //! ```text
 //! ise enumerate --corpus corpus/ [--threads N] [--nin 4] [--nout 2]
 //!               [--budget M] [--limit K] [--out FILE|-] [--md FILE|-]
-//! ise select    (same flags) [--max-instr 4] [--ports-in N] [--ports-out N]
-//! ise report    --corpus corpus/ [--limit K]
+//! ise select    (same flags) [--max-instr 4] [--ports-in N] [--ports-out N] [--global]
+//! ise group     (same flags) [--min-count 1] [--top 40]
+//! ise report    --corpus corpus/ [--limit K] [--dot BLOCK]
 //! ```
 //!
 //! `enumerate` runs the incremental polynomial enumeration on every block;
-//! `select` additionally runs the greedy ISE selection per block; `report` prints a
-//! corpus inventory (loading doubles as validation). Work is sharded at **two
+//! `select` additionally runs the greedy ISE selection per block (or, with
+//! `--global`, the corpus-level pattern selection of [`ise_canon`]); `group`
+//! recognizes recurring candidates across the corpus by canonical code (the
+//! [`group`] module); `report` prints a corpus inventory (loading doubles as
+//! validation) or, with `--dot`, one block as a Graphviz digraph with its
+//! selected ISEs highlighted. Work is sharded at **two
 //! levels** by one scheduler ([`batch::run_batch`]): blocks with at least
 //! `--par-threshold` vertices fan out into first-output tasks (`ise_enum::par`),
 //! smaller blocks stay whole, and `--threads` workers pull the flattened
@@ -54,6 +59,7 @@
 
 mod args;
 pub mod batch;
+pub mod group;
 pub mod report;
 
 pub use args::Flags;
@@ -62,6 +68,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
+use ise_canon::GroupConfig;
 use ise_corpus::{load_corpus_path, CorpusError};
 use ise_enum::{Constraints, DedupMode, PruningConfig};
 
@@ -70,14 +77,18 @@ use report::{batch_json, batch_markdown, corpus_markdown, RunMeta};
 
 /// The usage text printed by `ise help` and attached to usage errors.
 pub const USAGE: &str = "\
-usage: ise <enumerate|select|report> [flags]
+usage: ise <enumerate|select|group|report> [flags]
 
   ise enumerate --corpus PATH [--threads N] [--nin 4] [--nout 2]
                 [--budget M] [--limit K] [--out FILE|-] [--md FILE|-]
                 [--par-threshold V] [--dedup-mode dedup-first|validate-first]
   ise select    (same flags as enumerate)
-                [--max-instr 4] [--ports-in N] [--ports-out N]
+                [--max-instr 4] [--ports-in N] [--ports-out N] [--global]
+  ise group     (same flags as enumerate)
+                [--ports-in N] [--ports-out N] [--min-count 1] [--top 40|0=all]
   ise report    --corpus PATH [--limit K]
+                [--dot BLOCK [--nin 4] [--nout 2] [--budget M]
+                 [--max-instr 4] [--out FILE|-]]
 
 PATH is a .dfg file or a directory of .dfg files (default: corpus).
 --out/--md write JSON/markdown to FILE, or to stdout when FILE is `-`.
@@ -90,7 +101,17 @@ too. All counts are byte-identical for any --threads value; fanned-out
 blocks split their --budget evenly across tasks.
 --dedup-mode validate-first bounds the dedup arena by the valid cuts
 (the memory fallback for huge blocks) at the cost of re-validating
-duplicate candidates; the reported cuts are identical.";
+duplicate candidates; the reported cuts are identical.
+`group` recognizes structurally identical (isomorphic) candidates across
+the whole corpus by canonical code and reports each pattern's occurrence
+count and estimated corpus-wide saving; --min-count hides rarer patterns
+from the table, --top caps the markdown table.
+`select --global` selects by corpus-wide benefit: one custom instruction
+is credited with all of its non-overlapping occurrences. In global mode
+--max-instr bounds the number of distinct instruction patterns for the
+whole corpus and defaults to 0 = unlimited (select while profitable).
+`report --dot BLOCK` prints the block as a Graphviz digraph with its
+greedily selected ISEs highlighted.";
 
 /// Error surface of the `ise` binary.
 #[derive(Debug)]
@@ -148,6 +169,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     match command.as_str() {
         "enumerate" => run_batch_command(&args[1..], false),
         "select" => run_batch_command(&args[1..], true),
+        "group" => run_group_command(&args[1..]),
         "report" => run_report_command(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -198,6 +220,22 @@ const SELECT_FLAGS: &[&str] = &[
     "ports-in",
     "ports-out",
 ];
+const GROUP_FLAGS: &[&str] = &[
+    "corpus",
+    "threads",
+    "nin",
+    "nout",
+    "budget",
+    "limit",
+    "out",
+    "md",
+    "par-threshold",
+    "dedup-mode",
+    "ports-in",
+    "ports-out",
+    "min-count",
+    "top",
+];
 
 fn parse_dedup_mode(flags: &Flags) -> Result<DedupMode, CliError> {
     match flags.get("dedup-mode") {
@@ -209,54 +247,103 @@ fn parse_dedup_mode(flags: &Flags) -> Result<DedupMode, CliError> {
     }
 }
 
-fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
-    let allowed = if select { SELECT_FLAGS } else { BATCH_FLAGS };
-    let flags = Flags::parse(args, allowed)?;
-    let corpus = flags.string("corpus", "corpus");
+/// The flags shared by every batch-driven subcommand, parsed once.
+struct CommonBatchArgs {
+    corpus: String,
+    nin: usize,
+    nout: usize,
+    threads: usize,
+    budget: Option<usize>,
+    par_threshold: usize,
+    dedup_mode: DedupMode,
+    constraints: Constraints,
+}
+
+fn parse_common(flags: &Flags) -> Result<CommonBatchArgs, CliError> {
     let nin = flags.usize("nin", 4)?;
     let nout = flags.usize("nout", 2)?;
-    let constraints =
-        Constraints::new(nin, nout).map_err(|e| CliError::Usage(format!("--nin/--nout: {e}")))?;
-    let threads = flags.usize("threads", 1)?;
-    let budget = match flags.usize("budget", DEFAULT_BUDGET)? {
-        0 => None,
-        limit => Some(limit),
-    };
-    let par_threshold = flags.usize("par-threshold", DEFAULT_PAR_THRESHOLD)?;
-    let dedup_mode = parse_dedup_mode(&flags)?;
-    let selection = if select {
+    Ok(CommonBatchArgs {
+        corpus: flags.string("corpus", "corpus"),
+        nin,
+        nout,
+        threads: flags.usize("threads", 1)?,
+        budget: match flags.usize("budget", DEFAULT_BUDGET)? {
+            0 => None,
+            limit => Some(limit),
+        },
+        par_threshold: flags.usize("par-threshold", DEFAULT_PAR_THRESHOLD)?,
+        dedup_mode: parse_dedup_mode(flags)?,
+        constraints: Constraints::new(nin, nout)
+            .map_err(|e| CliError::Usage(format!("--nin/--nout: {e}")))?,
+    })
+}
+
+impl CommonBatchArgs {
+    fn batch_config(&self, select: Option<SelectionConfig>) -> BatchConfig {
+        BatchConfig {
+            constraints: self.constraints.clone(),
+            pruning: PruningConfig::all(),
+            budget: self.budget,
+            threads: self.threads,
+            select,
+            dedup_mode: self.dedup_mode,
+            par_threshold: self.par_threshold,
+        }
+    }
+
+    fn meta(&self, select: bool, elapsed: std::time::Duration) -> RunMeta {
+        RunMeta {
+            corpus: self.corpus.clone(),
+            nin: self.nin,
+            nout: self.nout,
+            threads: self.threads,
+            budget: self.budget,
+            par_threshold: self.par_threshold,
+            dedup_mode: self.dedup_mode,
+            select,
+            elapsed,
+        }
+    }
+}
+
+fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
+    let allowed = if select { SELECT_FLAGS } else { BATCH_FLAGS };
+    let switches: &[&str] = if select { &["global"] } else { &[] };
+    let flags = Flags::parse_with_switches(args, allowed, switches)?;
+    let common = parse_common(&flags)?;
+    let global = flags.bool("global", false)?;
+    let ports_in = flags.usize("ports-in", common.nin)?;
+    let ports_out = flags.usize("ports-out", common.nout)?;
+    let selection = if select && !global {
         Some(SelectionConfig {
             max_instructions: flags.usize("max-instr", 4)?,
-            ports_in: flags.usize("ports-in", nin)?,
-            ports_out: flags.usize("ports-out", nout)?,
+            ports_in,
+            ports_out,
         })
     } else {
         None
     };
 
-    let blocks = load_blocks(&corpus, &flags)?;
-    let config = BatchConfig {
-        constraints,
-        pruning: PruningConfig::all(),
-        budget,
-        threads,
-        select: selection,
-        dedup_mode,
-        par_threshold,
-    };
+    let blocks = load_blocks(&common.corpus, &flags)?;
+    let config = common.batch_config(selection);
     let start = Instant::now();
     let outcomes = run_batch(&blocks, &config);
-    let meta = RunMeta {
-        corpus,
-        nin,
-        nout,
-        threads,
-        budget,
-        par_threshold,
-        dedup_mode,
-        select,
-        elapsed: start.elapsed(),
-    };
+    let meta = common.meta(select, start.elapsed());
+
+    if global {
+        // Corpus-level selection: --max-instr bounds *distinct patterns* and
+        // defaults to unlimited, because reusing one implemented instruction at
+        // another occurrence costs no additional opcode.
+        let group_config = GroupConfig::new(ports_in, ports_out);
+        let max_patterns = flags.usize("max-instr", 0)?;
+        let (json, markdown, _) =
+            group::global_select_report(&blocks, &outcomes, &meta, &group_config, max_patterns);
+        emit(&flags.string("out", "-"), &(json.render() + "\n"))?;
+        if let Some(md) = flags.get("md") {
+            emit(md, &markdown)?;
+        }
+        return Ok(());
+    }
 
     emit(
         &flags.string("out", "-"),
@@ -268,12 +355,128 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
     Ok(())
 }
 
+fn run_group_command(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, GROUP_FLAGS)?;
+    let common = parse_common(&flags)?;
+    let ports_in = flags.usize("ports-in", common.nin)?;
+    let ports_out = flags.usize("ports-out", common.nout)?;
+    let min_count = flags.usize("min-count", 1)?;
+    let top = match flags.usize("top", 40)? {
+        0 => usize::MAX, // 0 = unlimited, consistent with --budget / global --max-instr
+        top => top,
+    };
+
+    let blocks = load_blocks(&common.corpus, &flags)?;
+    let config = common.batch_config(None);
+    let start = Instant::now();
+    let outcomes = run_batch(&blocks, &config);
+    let index = group::group_outcomes(
+        &blocks,
+        &outcomes,
+        &GroupConfig::new(ports_in, ports_out),
+        common.threads,
+    );
+    let meta = common.meta(false, start.elapsed());
+
+    emit(
+        &flags.string("out", "-"),
+        &(group::group_json(&index, &outcomes, &meta, min_count).render() + "\n"),
+    )?;
+    if let Some(md) = flags.get("md") {
+        emit(
+            md,
+            &group::group_markdown(&index, &outcomes, &meta, min_count, top),
+        )?;
+    }
+    Ok(())
+}
+
+const REPORT_FLAGS: &[&str] = &[
+    "corpus",
+    "limit",
+    "dot",
+    "out",
+    "nin",
+    "nout",
+    "budget",
+    "max-instr",
+    "ports-in",
+    "ports-out",
+];
+
 fn run_report_command(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["corpus", "limit"])?;
+    let flags = Flags::parse(args, REPORT_FLAGS)?;
     let corpus = flags.string("corpus", "corpus");
+    if flags.get("dot").is_none() {
+        // Don't silently ignore flags that only make sense with --dot (a user
+        // who forgets --dot must not get an inventory on stdout and no file).
+        for dot_only in [
+            "out",
+            "nin",
+            "nout",
+            "budget",
+            "max-instr",
+            "ports-in",
+            "ports-out",
+        ] {
+            if flags.get(dot_only).is_some() {
+                return Err(CliError::Usage(format!(
+                    "`--{dot_only}` requires `--dot BLOCK`"
+                )));
+            }
+        }
+    }
     let blocks = load_blocks(&corpus, &flags)?;
+    if let Some(name) = flags.get("dot") {
+        return run_dot_report(&flags, &blocks, name);
+    }
     print!("{}", corpus_markdown(&corpus, &blocks));
     Ok(())
+}
+
+/// The `ise report --dot <block>` escape hatch: render one block as a Graphviz
+/// digraph with its greedily selected ISEs highlighted, for visual inspection of
+/// grouped patterns and selected instructions.
+fn run_dot_report(
+    flags: &Flags,
+    blocks: &[ise_corpus::CorpusBlock],
+    name: &str,
+) -> Result<(), CliError> {
+    use ise_enum::{incremental_cuts_opts, select_ises, EngineOptions, EnumContext};
+    use ise_graph::{DotOptions, LatencyModel};
+
+    let Some(block) = blocks.iter().find(|b| b.dfg.name() == name) else {
+        return Err(CliError::Usage(format!(
+            "--dot: no block named `{name}` in the corpus"
+        )));
+    };
+    let nin = flags.usize("nin", 4)?;
+    let nout = flags.usize("nout", 2)?;
+    let constraints =
+        Constraints::new(nin, nout).map_err(|e| CliError::Usage(format!("--nin/--nout: {e}")))?;
+    let budget = match flags.usize("budget", DEFAULT_BUDGET)? {
+        0 => None,
+        limit => Some(limit),
+    };
+    let ctx = EnumContext::new(block.dfg.clone());
+    let options = EngineOptions {
+        max_search_nodes: budget,
+        ..EngineOptions::default()
+    };
+    let enumeration = incremental_cuts_opts(&ctx, &constraints, &PruningConfig::all(), &options);
+    let selection = select_ises(
+        &ctx,
+        &enumeration.cuts,
+        &LatencyModel::default(),
+        flags.usize("ports-in", nin)?,
+        flags.usize("ports-out", nout)?,
+        flags.usize("max-instr", 4)?,
+    );
+    let mut dot = DotOptions::new();
+    for (cut, _) in &selection.chosen {
+        dot = dot.highlight(cut);
+    }
+    emit(&flags.string("out", "-"), &dot.render(&block.dfg))
 }
 
 fn load_blocks(corpus: &str, flags: &Flags) -> Result<Vec<ise_corpus::CorpusBlock>, CliError> {
@@ -369,6 +572,128 @@ mod tests {
         assert!(json.contains(r#""schema":"ise-cli/select/v1""#));
         assert!(json.contains(r#""name":"alpha""#), "{json}");
         assert!(!json.contains(r#""name":"beta""#), "limit ignored: {json}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_subcommand_emits_pattern_reports_deterministically() {
+        let dir = demo_corpus("group");
+        let render = |threads: &str, tag: &str| {
+            let out = dir.join(format!("g{tag}.json"));
+            let md = dir.join(format!("g{tag}.md"));
+            run(&argv(&[
+                "group",
+                "--corpus",
+                dir.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--out",
+                out.to_str().unwrap(),
+                "--md",
+                md.to_str().unwrap(),
+            ]))
+            .unwrap();
+            (
+                std::fs::read_to_string(&out).unwrap(),
+                std::fs::read_to_string(&md).unwrap(),
+            )
+        };
+        let (one, md) = render("1", "1");
+        assert!(one.contains(r#""schema":"ise-cli/group/v1""#), "{one}");
+        assert!(one.contains(r#""patterns":["#), "{one}");
+        assert!(md.starts_with("# ISE pattern grouping report"));
+        // Thread-count invariance, wall times aside.
+        let (four, _) = render("4", "4");
+        let strip = |s: &str| {
+            s.split(',')
+                .filter(|f| !f.contains("_seconds") && !f.contains("\"threads\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        assert_eq!(strip(&one), strip(&four));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn select_global_mode_reports_corpus_wide_selection() {
+        let dir = demo_corpus("global");
+        let out = dir.join("gs.json");
+        run(&argv(&[
+            "select",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--global",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains(r#""schema":"ise-cli/select/v1""#), "{json}");
+        assert!(json.contains(r#""mode":"global""#), "{json}");
+        assert!(
+            json.contains(r#""max_patterns":0"#),
+            "unlimited by default: {json}"
+        );
+        assert!(json.contains(r#""total_selected":"#), "{json}");
+        // Per-block mode stays available and is tagged.
+        let out2 = dir.join("ps.json");
+        run(&argv(&[
+            "select",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--out",
+            out2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json2 = std::fs::read_to_string(&out2).unwrap();
+        assert!(json2.contains(r#""mode":"per-block""#), "{json2}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_dot_renders_the_block_with_highlights() {
+        let dir = demo_corpus("dot");
+        let out = dir.join("b.dot");
+        run(&argv(&[
+            "report",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--dot",
+            "beta",
+            "--nin",
+            "3",
+            "--nout",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let dot = std::fs::read_to_string(&out).unwrap();
+        assert!(dot.starts_with("digraph \"beta\""), "{dot}");
+        assert!(
+            dot.contains("fillcolor=lightyellow"),
+            "a selected cut is shaded: {dot}"
+        );
+        let err = run(&argv(&[
+            "report",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--dot",
+            "nonesuch",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no block named"), "{err}");
+        // Dot-only flags without --dot must error, not be silently dropped (a
+        // forgotten --dot would otherwise print the inventory and write nothing).
+        let err = run(&argv(&[
+            "report",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--out",
+            "inventory.md",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("requires `--dot"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

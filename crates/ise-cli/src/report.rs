@@ -41,8 +41,38 @@ pub struct RunMeta {
 /// plain sums — so diffing two runs' JSON (ignoring `*_seconds`) detects any
 /// behavioral drift, and aggregate counts are identical for every `--threads` value.
 pub fn batch_json(outcomes: &[BlockOutcome], meta: &RunMeta) -> Json {
-    let selecting = meta.select;
-    let schema = if selecting {
+    let mut top = Vec::new();
+    let mut aggregate = Vec::new();
+    if meta.select {
+        top.push(("mode", Json::str("per-block")));
+        let selected: usize = outcomes
+            .iter()
+            .filter_map(|o| o.selection.as_ref())
+            .map(|s| s.chosen.len())
+            .sum();
+        let saved: u64 = outcomes
+            .iter()
+            .filter_map(|o| o.selection.as_ref())
+            .map(|s| u64::from(s.total_saved_cycles))
+            .sum();
+        aggregate.push(("total_selected", Json::uint(selected)));
+        aggregate.push(("total_saved_cycles", Json::UInt(saved)));
+    }
+    batch_json_with(meta, outcomes, top, aggregate)
+}
+
+/// The shared scaffold of the `enumerate`/`select` schemas: metadata, per-block
+/// rows, and the base aggregates, with extension points for mode-specific top-level
+/// sections (`extra_top`, placed after the metadata) and aggregate entries
+/// (`extra_aggregate`, appended after `elapsed_seconds`). `ise select --global`
+/// builds on this in [`crate::group`].
+pub(crate) fn batch_json_with(
+    meta: &RunMeta,
+    outcomes: &[BlockOutcome],
+    extra_top: Vec<(&'static str, Json)>,
+    extra_aggregate: Vec<(&'static str, Json)>,
+) -> Json {
+    let schema = if meta.select {
         "ise-cli/select/v1"
     } else {
         "ise-cli/enumerate/v1"
@@ -65,22 +95,9 @@ pub fn batch_json(outcomes: &[BlockOutcome], meta: &RunMeta) -> Json {
         ("total_candidates_checked", Json::uint(total_candidates)),
         ("elapsed_seconds", Json::num(meta.elapsed.as_secs_f64())),
     ];
-    if selecting {
-        let selected: usize = outcomes
-            .iter()
-            .filter_map(|o| o.selection.as_ref())
-            .map(|s| s.chosen.len())
-            .sum();
-        let saved: u64 = outcomes
-            .iter()
-            .filter_map(|o| o.selection.as_ref())
-            .map(|s| u64::from(s.total_saved_cycles))
-            .sum();
-        aggregate.push(("total_selected", Json::uint(selected)));
-        aggregate.push(("total_saved_cycles", Json::UInt(saved)));
-    }
+    aggregate.extend(extra_aggregate);
 
-    Json::object([
+    let mut doc = vec![
         ("schema", Json::str(schema)),
         ("corpus", Json::str(meta.corpus.clone())),
         ("nin", Json::uint(meta.nin)),
@@ -95,12 +112,14 @@ pub fn batch_json(outcomes: &[BlockOutcome], meta: &RunMeta) -> Json {
                 DedupMode::ValidateFirst => "validate-first",
             }),
         ),
-        ("blocks", Json::Array(rows)),
-        ("aggregate", Json::object(aggregate)),
-    ])
+    ];
+    doc.extend(extra_top);
+    doc.push(("blocks", Json::Array(rows)));
+    doc.push(("aggregate", Json::object(aggregate)));
+    Json::object(doc)
 }
 
-fn block_row(outcome: &BlockOutcome) -> Json {
+pub(crate) fn block_row(outcome: &BlockOutcome) -> Json {
     let stats = &outcome.enumeration.stats;
     let mut row = vec![
         ("name", Json::str(outcome.name.clone())),

@@ -32,12 +32,18 @@ pub enum CorpusError {
         path: PathBuf,
     },
     /// Two blocks in the corpus share a name (the parser rejects this within one
-    /// file; this variant covers clashes *across* files of a directory).
+    /// file; this variant covers clashes *across* files of a directory). Without
+    /// this check the last definition would silently win and corpus statistics
+    /// would key two different graphs under one name.
     DuplicateBlock {
         /// The file containing the second occurrence.
         path: PathBuf,
+        /// 1-based line of the duplicate `dfg <name>` header in `path`.
+        line: usize,
         /// The clashing block name.
         name: String,
+        /// The file that defined the name first.
+        first_path: PathBuf,
     },
 }
 
@@ -53,11 +59,17 @@ impl fmt::Display for CorpusError {
             CorpusError::Empty { path } => {
                 write!(f, "{}: no .dfg blocks found", path.display())
             }
-            CorpusError::DuplicateBlock { path, name } => {
+            CorpusError::DuplicateBlock {
+                path,
+                line,
+                name,
+                first_path,
+            } => {
                 write!(
                     f,
-                    "{}: duplicate block name `{name}` (already defined by another corpus file)",
-                    path.display()
+                    "{}: line {line}: duplicate block name `{name}` (first defined in {})",
+                    path.display(),
+                    first_path.display()
                 )
             }
         }
@@ -106,6 +118,7 @@ pub fn load_corpus_path(path: impl AsRef<Path>) -> Result<Vec<CorpusBlock>, Corp
     }
 
     let mut blocks: Vec<CorpusBlock> = Vec::new();
+    let mut origins: Vec<PathBuf> = Vec::new();
     for file in files {
         let text = std::fs::read_to_string(&file).map_err(|source| CorpusError::Io {
             path: file.clone(),
@@ -118,13 +131,16 @@ pub fn load_corpus_path(path: impl AsRef<Path>) -> Result<Vec<CorpusBlock>, Corp
         // The parser rejects duplicate names within one file; enforce the same
         // invariant across the files of a directory, so block names key the corpus.
         for block in parsed {
-            if blocks.iter().any(|b| b.dfg.name() == block.dfg.name()) {
+            if let Some(at) = blocks.iter().position(|b| b.dfg.name() == block.dfg.name()) {
                 return Err(CorpusError::DuplicateBlock {
+                    line: header_line(&text, block.dfg.name()),
                     path: file,
                     name: block.dfg.name().to_string(),
+                    first_path: origins[at].clone(),
                 });
             }
             blocks.push(block);
+            origins.push(file.clone());
         }
     }
     if blocks.is_empty() {
@@ -133,6 +149,22 @@ pub fn load_corpus_path(path: impl AsRef<Path>) -> Result<Vec<CorpusBlock>, Corp
         });
     }
     Ok(blocks)
+}
+
+/// The 1-based line of the `dfg <name>` header in `text`. `text` has already
+/// parsed successfully, so the header exists and — names being unique within one
+/// file — is unique: only `dfg` directives open blocks, and comments, `meta` values
+/// and `@` node names all live on lines starting with other directives.
+fn header_line(text: &str, name: &str) -> usize {
+    for (index, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim();
+        if let Some(rest) = trimmed.strip_prefix("dfg") {
+            if rest.trim() == name {
+                return index + 1;
+            }
+        }
+    }
+    unreachable!("a parsed block always has a `dfg {name}` header line")
 }
 
 #[cfg(test)]
@@ -182,10 +214,45 @@ mod tests {
         std::fs::write(dir.join("b.dfg"), "dfg same\nnode 0 in\nend\n").unwrap();
         let err = load_corpus_path(&dir).unwrap_err();
         assert!(
-            matches!(&err, CorpusError::DuplicateBlock { name, .. } if name == "same"),
+            matches!(&err, CorpusError::DuplicateBlock { name, line, .. }
+                if name == "same" && *line == 1),
             "{err}"
         );
         assert!(err.to_string().contains("b.dfg"), "{err}");
+        assert!(err.to_string().contains("first defined in"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression (ISSUE 5 satellite): a duplicate buried mid-file must be reported
+    /// with the exact line of its `dfg` header and the file of the first
+    /// definition — never silently last-writer-wins.
+    #[test]
+    fn duplicate_errors_are_line_precise() {
+        let dir = unique_dir("dup-line");
+        std::fs::write(dir.join("a.dfg"), "dfg fst\nnode 0 in\nend\n").unwrap();
+        std::fs::write(
+            dir.join("b.dfg"),
+            "# comment\ndfg other\nnode 0 in\nend\n\ndfg fst\nnode 0 in\nend\n",
+        )
+        .unwrap();
+        let err = load_corpus_path(&dir).unwrap_err();
+        match &err {
+            CorpusError::DuplicateBlock {
+                path,
+                line,
+                name,
+                first_path,
+            } => {
+                assert!(path.ends_with("b.dfg"));
+                assert_eq!(*line, 6, "line of the duplicate `dfg fst` header");
+                assert_eq!(name, "fst");
+                assert!(first_path.ends_with("a.dfg"));
+            }
+            other => panic!("expected DuplicateBlock, got {other}"),
+        }
+        assert!(err.to_string().contains("line 6"), "{err}");
+        // No block of the clashing corpus leaks out: the load fails as a whole.
+        assert!(err.source().is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

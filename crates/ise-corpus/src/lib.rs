@@ -88,6 +88,32 @@ pub struct CorpusBlock {
     pub meta: Vec<(String, String)>,
 }
 
+impl CorpusBlock {
+    /// The block's profile weight: the value of the `weight` meta key (relative
+    /// execution frequency from a profile), or `1.0` when absent or unparsable.
+    /// Non-finite and non-positive values are treated as absent — a corrupt profile
+    /// must not zero out or invert a block's contribution to grouping statistics.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let blocks = ise_corpus::parse_corpus(
+    ///     "dfg hot\nmeta weight 12.5\nnode 0 in\nend\ndfg cold\nnode 0 in\nend\n",
+    /// )
+    /// .unwrap();
+    /// assert_eq!(blocks[0].weight(), 12.5);
+    /// assert_eq!(blocks[1].weight(), 1.0);
+    /// ```
+    pub fn weight(&self) -> f64 {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == "weight")
+            .and_then(|(_, v)| v.trim().parse::<f64>().ok())
+            .filter(|w| w.is_finite() && *w > 0.0)
+            .unwrap_or(1.0)
+    }
+}
+
 /// Structural equality of two graphs as the interchange format defines it: same name,
 /// same operations and symbolic node names, same per-node operand producers (order
 /// matters, it is the operand order), same external outputs and same forbidden set.

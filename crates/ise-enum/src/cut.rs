@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ise_graph::{DenseNodeSet, NodeId};
+use ise_graph::{CutLike, DenseNodeSet, InterfaceGraph, NodeId};
 
 use crate::config::Constraints;
 use crate::context::EnumContext;
@@ -155,6 +155,33 @@ impl Cut {
         }
     }
 
+    /// Exports the cut as its interface-labeled subgraph — the reporting-path hook
+    /// used by canonical-form grouping (`ise-canon`): operations, operand order and
+    /// input/output roles over local ids, independent of the host block's node ids.
+    ///
+    /// The extraction re-derives the interface from the body on the original graph;
+    /// in debug builds it is asserted to agree with the cut's own (sink-augmented)
+    /// input/output derivation.
+    pub fn interface_graph(&self, ctx: &EnumContext) -> InterfaceGraph {
+        let graph = InterfaceGraph::extract(ctx.dfg(), &self.body);
+        debug_assert_eq!(
+            (0..graph.num_inputs())
+                .map(|i| graph.original(i))
+                .collect::<Vec<_>>(),
+            self.inputs,
+            "interface extraction must agree with the cut's input derivation"
+        );
+        debug_assert_eq!(
+            (graph.num_inputs()..graph.len())
+                .filter(|&v| graph.is_output(v))
+                .map(|v| graph.original(v))
+                .collect::<Vec<_>>(),
+            self.outputs,
+            "interface extraction must agree with the cut's output derivation"
+        );
+        graph
+    }
+
     /// Whether the cut is convex (Definition 2): no path between two members leaves the
     /// cut.
     ///
@@ -291,6 +318,20 @@ impl Cut {
             }
         }
         Ok(())
+    }
+}
+
+impl CutLike for Cut {
+    fn body_set(&self) -> &DenseNodeSet {
+        &self.body
+    }
+
+    fn input_nodes(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    fn output_nodes(&self) -> &[NodeId] {
+        &self.outputs
     }
 }
 
@@ -490,6 +531,30 @@ mod tests {
             cut.validate(&ctx, &connected, true),
             Err(CutRejection::Disconnected)
         );
+    }
+
+    #[test]
+    fn interface_graph_export_matches_the_cut_interface() {
+        let (ctx, [a, c, n, x, y, z, _]) = sample();
+        for body in [vec![n, x, y, z], vec![n, x], vec![x, y]] {
+            let cut = cut_of(&ctx, &body);
+            let g = cut.interface_graph(&ctx);
+            assert_eq!(g.num_inputs(), cut.inputs().len());
+            assert_eq!(g.num_body(), cut.len());
+            assert_eq!(g.num_outputs(), cut.outputs().len());
+        }
+        // Externally visible members count as outputs through the sink on the cut
+        // side and through Oext on the interface side.
+        let _ = (a, c, z);
+    }
+
+    #[test]
+    fn cut_like_views_match_the_accessors() {
+        let (ctx, [_, _, n, x, _, _, _]) = sample();
+        let cut = cut_of(&ctx, &[n, x]);
+        assert_eq!(CutLike::body_set(&cut), cut.body());
+        assert_eq!(CutLike::input_nodes(&cut), cut.inputs());
+        assert_eq!(CutLike::output_nodes(&cut), cut.outputs());
     }
 
     #[test]

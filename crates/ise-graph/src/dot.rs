@@ -6,6 +6,20 @@ use crate::bitset::DenseNodeSet;
 use crate::graph::Dfg;
 use crate::node::NodeId;
 
+/// A cut-shaped value that can be highlighted in a DOT rendering: a body set plus the
+/// derived input and output vertices.
+///
+/// `ise-enum`'s `Cut` implements this (that crate depends on this one, so the trait
+/// lives here); anything exposing the same three views can be highlighted too.
+pub trait CutLike {
+    /// The member vertices of the cut.
+    fn body_set(&self) -> &DenseNodeSet;
+    /// The input vertices `I(S)`.
+    fn input_nodes(&self) -> &[NodeId];
+    /// The output vertices `O(S)`.
+    fn output_nodes(&self) -> &[NodeId];
+}
+
 /// Rendering options for [`DotOptions::render`].
 ///
 /// The defaults reproduce the visual conventions of Figure 1 of the paper: cut members
@@ -59,6 +73,32 @@ impl DotOptions {
     #[must_use]
     pub fn with_outputs(mut self, outputs: DenseNodeSet) -> Self {
         self.outputs = Some(outputs);
+        self
+    }
+
+    /// Highlights a whole cut at once: body shaded, inputs filled, outputs
+    /// double-bordered. May be called repeatedly to overlay several cuts (for example
+    /// every selected ISE of a block); the highlight sets accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cuts from differently sized graphs are mixed.
+    #[must_use]
+    pub fn highlight(mut self, cut: &impl CutLike) -> Self {
+        let capacity = cut.body_set().capacity();
+        let union = |slot: &mut Option<DenseNodeSet>, add: &DenseNodeSet| match slot {
+            Some(set) => set.union_with(add),
+            None => *slot = Some(add.clone()),
+        };
+        union(&mut self.cut, cut.body_set());
+        union(
+            &mut self.inputs,
+            &DenseNodeSet::from_nodes(capacity, cut.input_nodes().iter().copied()),
+        );
+        union(
+            &mut self.outputs,
+            &DenseNodeSet::from_nodes(capacity, cut.output_nodes().iter().copied()),
+        );
         self
     }
 
@@ -169,6 +209,53 @@ mod tests {
             .find(|l| l.trim_start().starts_with(&format!("{} [", nodes[1])))
             .unwrap();
         assert!(in_line.contains("gray70"));
+    }
+
+    #[test]
+    fn highlight_overlays_whole_cuts_and_accumulates() {
+        struct FakeCut {
+            body: DenseNodeSet,
+            inputs: Vec<NodeId>,
+            outputs: Vec<NodeId>,
+        }
+        impl CutLike for FakeCut {
+            fn body_set(&self) -> &DenseNodeSet {
+                &self.body
+            }
+            fn input_nodes(&self) -> &[NodeId] {
+                &self.inputs
+            }
+            fn output_nodes(&self) -> &[NodeId] {
+                &self.outputs
+            }
+        }
+        let (dfg, nodes) = sample();
+        let first = FakeCut {
+            body: DenseNodeSet::from_nodes(dfg.len(), [nodes[2]]),
+            inputs: vec![nodes[1]],
+            outputs: vec![nodes[2]],
+        };
+        let second = FakeCut {
+            body: DenseNodeSet::from_nodes(dfg.len(), [nodes[1]]),
+            inputs: vec![nodes[0]],
+            outputs: vec![nodes[1]],
+        };
+        let dot = DotOptions::new()
+            .highlight(&first)
+            .highlight(&second)
+            .render(&dfg);
+        for id in [nodes[1], nodes[2]] {
+            let line = dot
+                .lines()
+                .find(|l| l.trim_start().starts_with(&format!("{id} [")))
+                .unwrap();
+            assert!(line.contains("peripheries=2"), "{line}");
+        }
+        let input_line = dot
+            .lines()
+            .find(|l| l.trim_start().starts_with(&format!("{} [", nodes[0])))
+            .unwrap();
+        assert!(input_line.contains("gray70"), "{input_line}");
     }
 
     #[test]

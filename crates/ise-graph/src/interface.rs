@@ -1,0 +1,302 @@
+//! Interface-labeled subgraph extraction: the structural "pattern" view of a cut.
+//!
+//! A candidate custom instruction is a set of body vertices plus its *interface*: the
+//! outside values it reads (inputs) and the values it exposes (outputs). Two cuts in
+//! different basic blocks describe the same instruction exactly when their
+//! interface-labeled subgraphs are isomorphic — same operations, same operand wiring
+//! (order included), same input/output roles — regardless of the node ids the host
+//! blocks happen to use. [`InterfaceGraph::extract`] materializes that view: a small
+//! rooted DAG over local dense ids whose nodes carry an [`InterfaceLabel`] (the
+//! operation for body members, a single anonymous label for inputs) and an is-output
+//! flag, and whose edges preserve operand order. Canonical-form grouping (the
+//! `ise-canon` crate) computes codes on this representation.
+
+use crate::bitset::DenseNodeSet;
+use crate::graph::Dfg;
+use crate::node::NodeId;
+use crate::op::Operation;
+
+/// The label of an [`InterfaceGraph`] node.
+///
+/// Inputs deliberately forget the operation that produced them in the host block: a
+/// value read over a register-file port is just a value, whoever computed it. Body
+/// members keep their operation — that is the datapath being identified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InterfaceLabel {
+    /// A value produced outside the cut and read through an input port.
+    Input,
+    /// A body member computing `Operation`.
+    Op(Operation),
+}
+
+/// The interface-labeled subgraph of a cut: inputs plus body members over local dense
+/// ids, with operand order preserved.
+///
+/// Local ids are assigned input-nodes-first, each group in ascending original-id
+/// order; this initial numbering is arbitrary (canonical codes are invariant under
+/// it) but deterministic, which keeps extraction reproducible.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ise_graph::{DenseNodeSet, DfgBuilder, InterfaceGraph, InterfaceLabel, Operation};
+///
+/// let mut b = DfgBuilder::new("mac");
+/// let a = b.input("a");
+/// let x = b.input("x");
+/// let acc = b.input("acc");
+/// let mul = b.node(Operation::Mul, &[a, x]);
+/// let sum = b.node(Operation::Add, &[mul, acc]);
+/// b.mark_output(sum);
+/// let dfg = b.build()?;
+///
+/// let body = DenseNodeSet::from_nodes(dfg.len(), [mul, sum]);
+/// let g = InterfaceGraph::extract(&dfg, &body);
+/// assert_eq!(g.len(), 5); // 3 inputs + 2 body members
+/// assert_eq!(g.num_inputs(), 3);
+/// assert_eq!(g.label(g.len() - 1), InterfaceLabel::Op(Operation::Add));
+/// assert!(g.is_output(g.len() - 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterfaceGraph {
+    labels: Vec<InterfaceLabel>,
+    is_output: Vec<bool>,
+    /// Operand lists of each node over local ids, in operand order. Input nodes have
+    /// no operands (their producers are outside the interface).
+    operands: Vec<Vec<usize>>,
+    /// Original node id of each local node, for mapping results back to the block.
+    original: Vec<NodeId>,
+    num_inputs: usize,
+}
+
+impl InterfaceGraph {
+    /// Extracts the interface-labeled subgraph of the cut whose body is `body`.
+    ///
+    /// Inputs are the operand producers of body members that are not body members
+    /// themselves; a body member is an output when some consumer lies outside the
+    /// body or the member is an external output of the block. This matches the
+    /// derivation of `ise-enum`'s `Cut::from_body` (whose sink edges encode external
+    /// visibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` has a smaller capacity than the graph (bodies sized for the
+    /// augmented graph, two vertices larger, are accepted).
+    pub fn extract(dfg: &Dfg, body: &DenseNodeSet) -> Self {
+        assert!(
+            body.capacity() >= dfg.len(),
+            "body capacity {} below graph size {}",
+            body.capacity(),
+            dfg.len()
+        );
+        let members: Vec<NodeId> = dfg.node_ids().filter(|&v| body.contains(v)).collect();
+        let mut input_set = dfg.node_set();
+        for &v in &members {
+            for &p in dfg.preds(v) {
+                if !body.contains(p) {
+                    input_set.insert(p);
+                }
+            }
+        }
+        let inputs = input_set.to_vec();
+        let num_inputs = inputs.len();
+
+        let mut local = vec![usize::MAX; dfg.len()];
+        let original: Vec<NodeId> = inputs.into_iter().chain(members).collect();
+        for (i, &v) in original.iter().enumerate() {
+            local[v.index()] = i;
+        }
+
+        let externally_visible =
+            DenseNodeSet::from_nodes(dfg.len(), dfg.external_outputs().iter().copied());
+        let mut labels = Vec::with_capacity(original.len());
+        let mut is_output = Vec::with_capacity(original.len());
+        let mut operands = Vec::with_capacity(original.len());
+        for (i, &v) in original.iter().enumerate() {
+            if i < num_inputs {
+                labels.push(InterfaceLabel::Input);
+                is_output.push(false);
+                operands.push(Vec::new());
+            } else {
+                labels.push(InterfaceLabel::Op(dfg.op(v)));
+                is_output.push(
+                    externally_visible.contains(v)
+                        || dfg.succs(v).iter().any(|s| !body.contains(*s)),
+                );
+                operands.push(dfg.preds(v).iter().map(|p| local[p.index()]).collect());
+            }
+        }
+
+        InterfaceGraph {
+            labels,
+            is_output,
+            operands,
+            original,
+            num_inputs,
+        }
+    }
+
+    /// Total number of nodes (inputs + body members).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the graph has no nodes (the body was empty and had no inputs).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of input nodes; they occupy local ids `0..num_inputs()`.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of body members.
+    pub fn num_body(&self) -> usize {
+        self.labels.len() - self.num_inputs
+    }
+
+    /// Number of output-flagged body members.
+    pub fn num_outputs(&self) -> usize {
+        self.is_output.iter().filter(|&&o| o).count()
+    }
+
+    /// The label of local node `v`.
+    pub fn label(&self, v: usize) -> InterfaceLabel {
+        self.labels[v]
+    }
+
+    /// Whether local node `v` is an output of the cut.
+    pub fn is_output(&self, v: usize) -> bool {
+        self.is_output[v]
+    }
+
+    /// The operands of local node `v` as local ids, in operand order.
+    pub fn operands(&self, v: usize) -> &[usize] {
+        &self.operands[v]
+    }
+
+    /// The original block node id of local node `v`.
+    pub fn original(&self, v: usize) -> NodeId {
+        self.original[v]
+    }
+
+    /// The body operations as a sorted, counted summary string (for example
+    /// `add+mul*2`) — a human-readable fingerprint for reports.
+    pub fn ops_summary(&self) -> String {
+        let mut mnemonics: Vec<&'static str> = self
+            .labels
+            .iter()
+            .filter_map(|l| match l {
+                InterfaceLabel::Input => None,
+                InterfaceLabel::Op(op) => Some(op.mnemonic()),
+            })
+            .collect();
+        mnemonics.sort_unstable();
+        let mut parts: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < mnemonics.len() {
+            let j = mnemonics[i..]
+                .iter()
+                .position(|m| *m != mnemonics[i])
+                .map_or(mnemonics.len(), |k| i + k);
+            if j - i == 1 {
+                parts.push(mnemonics[i].to_string());
+            } else {
+                parts.push(format!("{}*{}", mnemonics[i], j - i));
+            }
+            i = j;
+        }
+        parts.join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+
+    /// a, c inputs; n = a + c; x = n << 1; y = n - c; z = x ^ y
+    fn sample() -> (Dfg, [NodeId; 6]) {
+        let mut b = DfgBuilder::new("iface");
+        let a = b.input("a");
+        let c = b.input("c");
+        let n = b.node(Operation::Add, &[a, c]);
+        let x = b.node(Operation::Shl, &[n]);
+        let y = b.node(Operation::Sub, &[n, c]);
+        let z = b.node(Operation::Xor, &[x, y]);
+        (b.build().unwrap(), [a, c, n, x, y, z])
+    }
+
+    #[test]
+    fn extraction_derives_interface_and_preserves_operand_order() {
+        let (dfg, [a, c, n, x, y, z]) = sample();
+        let body = DenseNodeSet::from_nodes(dfg.len(), [n, x, y, z]);
+        let g = InterfaceGraph::extract(&dfg, &body);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.num_inputs(), 2);
+        assert_eq!(g.num_body(), 4);
+        assert_eq!(g.num_outputs(), 1);
+        // Inputs first, ascending original id.
+        assert_eq!(g.original(0), a);
+        assert_eq!(g.original(1), c);
+        assert_eq!(g.label(0), InterfaceLabel::Input);
+        assert!(g.operands(0).is_empty());
+        // Body members in ascending original id; operand order preserved.
+        let local_n = 2;
+        assert_eq!(g.original(local_n), n);
+        assert_eq!(g.operands(local_n), &[0, 1], "n = add(a, c)");
+        let local_y = 4;
+        assert_eq!(g.original(local_y), y);
+        assert_eq!(g.operands(local_y), &[local_n, 1], "y = sub(n, c)");
+        // z is the only sink, so the only output.
+        assert!(g.is_output(5));
+        assert!(!g.is_output(local_n));
+    }
+
+    #[test]
+    fn internal_fanout_and_external_visibility_flag_outputs() {
+        let (dfg, [_, _, n, x, _, _]) = sample();
+        let body = DenseNodeSet::from_nodes(dfg.len(), [n, x]);
+        let g = InterfaceGraph::extract(&dfg, &body);
+        // n feeds y outside the body, x feeds z outside: both are outputs.
+        assert_eq!(g.num_outputs(), 2);
+
+        // A marked external output with all consumers inside is still an output.
+        let mut b = DfgBuilder::new("liveout");
+        let a = b.input("a");
+        let m = b.node(Operation::Not, &[a]);
+        let w = b.node(Operation::Add, &[m, a]);
+        b.mark_output(m);
+        b.mark_output(w);
+        let dfg = b.build().unwrap();
+        let body = DenseNodeSet::from_nodes(dfg.len(), [m, w]);
+        let g = InterfaceGraph::extract(&dfg, &body);
+        assert_eq!(g.num_outputs(), 2, "live-out m needs a write port");
+    }
+
+    #[test]
+    fn bodies_sized_for_the_augmented_graph_are_accepted() {
+        let (dfg, [_, _, n, x, _, _]) = sample();
+        let body = DenseNodeSet::from_nodes(dfg.len() + 2, [n, x]);
+        let g = InterfaceGraph::extract(&dfg, &body);
+        assert_eq!(g.num_body(), 2);
+    }
+
+    #[test]
+    fn ops_summary_counts_mnemonics() {
+        let mut b = DfgBuilder::new("sum");
+        let a = b.input("a");
+        let m1 = b.node(Operation::Mul, &[a, a]);
+        let m2 = b.node(Operation::Mul, &[m1, a]);
+        let s = b.node(Operation::Add, &[m1, m2]);
+        let dfg = b.build().unwrap();
+        let body = DenseNodeSet::from_nodes(dfg.len(), [m1, m2, s]);
+        let g = InterfaceGraph::extract(&dfg, &body);
+        assert_eq!(g.ops_summary(), "add+mul*2");
+        assert!(!g.is_empty());
+    }
+}

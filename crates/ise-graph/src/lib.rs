@@ -22,6 +22,9 @@
 //! * [`CsrAdjacency`] — the flat compressed-sparse-row storage behind both graphs'
 //!   `preds()`/`succs()` rows: one edge arena plus an offset table per direction, so
 //!   the enumeration hot paths walk contiguous memory instead of per-row allocations.
+//! * [`InterfaceGraph`] — the interface-labeled subgraph of a cut (operations,
+//!   operand order, input/output roles over local ids), the representation on which
+//!   canonical-form grouping (`ise-canon`) recognizes recurring candidates.
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@ mod csr;
 mod dot;
 mod error;
 mod graph;
+mod interface;
 mod node;
 mod op;
 mod reach;
@@ -68,9 +72,10 @@ mod topo;
 pub use bitset::DenseNodeSet;
 pub use builder::DfgBuilder;
 pub use csr::CsrAdjacency;
-pub use dot::DotOptions;
+pub use dot::{CutLike, DotOptions};
 pub use error::GraphError;
 pub use graph::Dfg;
+pub use interface::{InterfaceGraph, InterfaceLabel};
 pub use node::{Node, NodeId};
 pub use op::{LatencyModel, Operation, OperationClass};
 pub use reach::Reachability;

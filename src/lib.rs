@@ -8,6 +8,8 @@
 //! * [`ise_graph`] — data-flow graph substrate (§3 of the paper).
 //! * [`ise_dominators`] — single- and multiple-vertex dominators (§2, §5.2).
 //! * [`ise_enum`] — convex-cut enumeration, pruning, baseline and ISE selection (§4–5).
+//! * [`ise_canon`] — canonical-form grouping of recurring candidates and
+//!   corpus-level (global) ISE selection.
 //! * [`ise_workloads`] — synthetic MiBench-like and tree-shaped workloads (§6).
 //! * [`ise_corpus`] — the `.dfg` textual DFG interchange format and the standard
 //!   corpus generator behind the committed `corpus/` directory.
@@ -28,6 +30,7 @@
 //! # }
 //! ```
 
+pub use ise_canon;
 pub use ise_cli;
 pub use ise_corpus;
 pub use ise_dominators;
