@@ -1,0 +1,287 @@
+//! Experiment E9 (DESIGN.md): `ise serve` cold-vs-warm latency and cache hit rates.
+//!
+//! Spawns the built `ise` binary as `ise serve` over stdin/stdout pipes, replays one
+//! `enumerate` request per committed corpus block twice, and measures the client-side
+//! round-trip latency of each request. The first pass is cold (every request computes
+//! and populates the content-addressed cache), the second is warm (every request is a
+//! string lookup); the bench asserts that every warm response carries `cached:true`
+//! and that its `result` payload is **byte-identical** to the cold one. A final
+//! `stats` request collects the daemon's hit/miss counters and a `shutdown` request
+//! checks graceful exit.
+//!
+//! The stdout report is CSV (one row per block with cold/warm latency and speedup);
+//! the committed `BENCH_serve.json` artifact records the same rows plus corpus-level
+//! aggregates. In full mode the bench asserts the aggregate warm speedup is at least
+//! 100x — the headline number the cache exists to deliver.
+//!
+//! Options (key=value): `corpus` (default `corpus`), `budget` (default 100000 search
+//! nodes per block, 20000 in smoke mode; 0 = unbounded), `nin`/`nout` (default 4/2),
+//! `bin` (path to the `ise` binary; defaults to a sibling of this executable, so
+//! build `ise-cli` in the same profile first), `out` (default `BENCH_serve.json` in
+//! full mode, `-` in smoke mode; `out=-` disables the artifact), `smoke` (also
+//! accepted as a bare `--smoke` flag): first 3 blocks only, no speedup assertion —
+//! the CI fast path.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::Instant;
+
+use ise_bench::json::Json;
+use ise_bench::{Options, PAPER_NIN, PAPER_NOUT};
+use ise_corpus::load_corpus_path;
+
+/// The daemon under test: a child `ise serve` process spoken to over pipes.
+struct Server {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Server {
+    fn spawn(bin: &str) -> Server {
+        let mut child = Command::new(bin)
+            .arg("serve")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|err| panic!("spawning `{bin} serve` failed: {err}"));
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Server {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// Sends one request line and reads one response line, returning the response
+    /// and the client-observed round-trip latency in milliseconds.
+    fn roundtrip(&mut self, request: &str) -> (String, f64) {
+        let start = Instant::now();
+        writeln!(self.stdin, "{request}").expect("request written");
+        self.stdin.flush().expect("request flushed");
+        let mut response = String::new();
+        let read = self.stdout.read_line(&mut response).expect("response read");
+        assert!(read > 0, "daemon closed its stdout mid-session");
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        (response.trim_end().to_string(), elapsed_ms)
+    }
+
+    /// Requests shutdown and asserts the daemon acknowledges and exits cleanly.
+    fn shutdown(mut self) {
+        let (response, _) = self.roundtrip("{\"op\":\"shutdown\"}");
+        assert_eq!(response, "{\"ok\":true,\"op\":\"shutdown\"}");
+        let status = self.child.wait().expect("daemon reaped");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+/// The raw `result` payload bytes of an `ok:true` envelope. Taking the substring
+/// (rather than parse + re-render) keeps the cold/warm comparison a true byte
+/// identity check on what the daemon actually emitted.
+fn payload_of(response: &str) -> &str {
+    let start = response
+        .find("\"result\":")
+        .unwrap_or_else(|| panic!("no result field in {response}"));
+    &response[start + "\"result\":".len()..response.len() - 1]
+}
+
+/// Envelope field accessor: parses the response and asserts `ok:true`.
+fn envelope(response: &str) -> Json {
+    let doc = Json::parse(response).expect("response parses as JSON");
+    assert_eq!(
+        doc.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {response}"
+    );
+    doc
+}
+
+fn default_bin() -> String {
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("executable directory");
+    dir.join(format!("ise{}", std::env::consts::EXE_SUFFIX))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let smoke = opts.bool("smoke", false) || std::env::args().any(|arg| arg == "--smoke");
+    let corpus = opts.string("corpus", "corpus");
+    let budget = opts.usize("budget", if smoke { 20_000 } else { 100_000 });
+    let nin = opts.usize("nin", PAPER_NIN);
+    let nout = opts.usize("nout", PAPER_NOUT);
+    let out_path = opts.string("out", if smoke { "-" } else { "BENCH_serve.json" });
+    let bin = opts.string("bin", &default_bin());
+    if !std::path::Path::new(&bin).exists() {
+        panic!(
+            "ise binary not found at `{bin}` — build it first \
+             (cargo build -p ise-cli, same profile as this bench) or pass bin=PATH"
+        );
+    }
+
+    let mut blocks = load_corpus_path(&corpus).expect("corpus loads");
+    if smoke {
+        blocks.truncate(3);
+    }
+    let requests: Vec<String> = blocks
+        .iter()
+        .map(|block| {
+            Json::object([
+                ("op", Json::str("enumerate")),
+                ("block", Json::str(block.canonical_bytes())),
+                (
+                    "flags",
+                    Json::object([
+                        ("nin", Json::uint(nin)),
+                        ("nout", Json::uint(nout)),
+                        ("budget", Json::uint(budget)),
+                    ]),
+                ),
+            ])
+            .render()
+        })
+        .collect();
+
+    let mut server = Server::spawn(&bin);
+
+    // Cold pass: a fresh daemon with no cache directory misses on every request.
+    let mut cold: Vec<(String, f64)> = Vec::new();
+    for request in &requests {
+        let (response, elapsed_ms) = server.roundtrip(request);
+        let doc = envelope(&response);
+        assert_eq!(
+            doc.get("cached").and_then(Json::as_bool),
+            Some(false),
+            "first pass must be cold"
+        );
+        cold.push((response, elapsed_ms));
+    }
+
+    // Warm pass: identical requests, every answer replayed from the response cache.
+    println!("block,nodes,cuts,cold_ms,warm_ms,speedup");
+    let mut rows = Vec::new();
+    let mut cold_total = 0.0f64;
+    let mut warm_total = 0.0f64;
+    for (index, request) in requests.iter().enumerate() {
+        let (response, warm_ms) = server.roundtrip(request);
+        let doc = envelope(&response);
+        assert_eq!(
+            doc.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "second pass must hit the cache"
+        );
+        let (cold_response, cold_ms) = &cold[index];
+        assert_eq!(
+            payload_of(cold_response),
+            payload_of(&response),
+            "block {}: warm payload must be byte-identical to cold",
+            blocks[index].dfg.name()
+        );
+        let cuts = doc
+            .get("result")
+            .and_then(|r| r.get("aggregate"))
+            .and_then(|a| a.get("total_cuts"))
+            .and_then(Json::as_u64)
+            .expect("enumerate result reports a cut count");
+        let speedup = if warm_ms > 0.0 {
+            cold_ms / warm_ms
+        } else {
+            0.0
+        };
+        cold_total += cold_ms;
+        warm_total += warm_ms;
+        println!(
+            "{},{},{cuts},{cold_ms:.3},{warm_ms:.3},{speedup:.0}",
+            blocks[index].dfg.name(),
+            blocks[index].dfg.len(),
+        );
+        rows.push(Json::object([
+            ("block", Json::str(blocks[index].dfg.name())),
+            ("nodes", Json::uint(blocks[index].dfg.len())),
+            ("cuts", Json::UInt(cuts)),
+            (
+                "key",
+                doc.get("key")
+                    .and_then(Json::as_str)
+                    .map_or(Json::Null, Json::str),
+            ),
+            ("cold_ms", Json::num(*cold_ms)),
+            ("warm_ms", Json::num(warm_ms)),
+            ("speedup", Json::num(speedup)),
+        ]));
+    }
+
+    let (stats_response, _) = server.roundtrip("{\"op\":\"stats\"}");
+    let stats = envelope(&stats_response);
+    let counter = |cache: &str, field: &str| {
+        stats
+            .get("result")
+            .and_then(|r| r.get(cache))
+            .and_then(|c| c.get(field))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("stats missing {cache}.{field}: {stats_response}"))
+    };
+    let response_hits = counter("responses", "hits");
+    let response_misses = counter("responses", "misses");
+    let hit_rate = response_hits as f64 / (response_hits + response_misses) as f64;
+    server.shutdown();
+
+    let warm_speedup = if warm_total > 0.0 {
+        cold_total / warm_total
+    } else {
+        0.0
+    };
+    println!(
+        "# {} blocks: cold {cold_total:.1} ms, warm {warm_total:.1} ms \
+         ({warm_speedup:.0}x), response hit rate {:.2}",
+        blocks.len(),
+        hit_rate,
+    );
+    assert_eq!(
+        response_hits,
+        blocks.len() as u64,
+        "every warm request hits the response cache"
+    );
+    if !smoke {
+        assert!(
+            warm_speedup >= 100.0,
+            "warm pass must be at least 100x faster than cold (got {warm_speedup:.0}x)"
+        );
+    }
+
+    if out_path != "-" {
+        let doc = Json::object([
+            ("schema", Json::str("ise-bench/serve/v1")),
+            ("corpus", Json::str(corpus)),
+            ("nin", Json::uint(nin)),
+            ("nout", Json::uint(nout)),
+            (
+                "budget",
+                if budget == 0 {
+                    Json::Null
+                } else {
+                    Json::uint(budget)
+                },
+            ),
+            ("smoke", Json::bool(smoke)),
+            ("rows", Json::Array(rows)),
+            (
+                "aggregate",
+                Json::object([
+                    ("blocks", Json::uint(blocks.len())),
+                    ("cold_ms_total", Json::num(cold_total)),
+                    ("warm_ms_total", Json::num(warm_total)),
+                    ("warm_speedup", Json::num(warm_speedup)),
+                    ("response_hits", Json::UInt(response_hits)),
+                    ("response_misses", Json::UInt(response_misses)),
+                    ("response_hit_rate", Json::num(hit_rate)),
+                    ("byte_identical", Json::bool(true)),
+                ]),
+            ),
+        ]);
+        std::fs::write(&out_path, doc.render() + "\n").expect("artifact written");
+        eprintln!("wrote {out_path}");
+    }
+}

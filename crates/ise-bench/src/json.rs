@@ -1,10 +1,16 @@
-//! A minimal, dependency-free JSON emitter for machine-readable benchmark artifacts.
+//! A minimal, dependency-free JSON emitter and parser for machine-readable artifacts.
 //!
 //! The experiment binaries publish their perf trajectory as committed JSON files (for
 //! example `BENCH_scaling.json`, written by the `scaling` binary) so that future
 //! revisions can diff enumeration performance across PRs without re-parsing CSV
 //! stdout. The emitter covers exactly the JSON subset those artifacts need: objects
 //! with ordered keys, arrays, strings, booleans and finite numbers.
+//!
+//! [`Json::parse`] is the inverse: a strict recursive-descent parser over the same
+//! subset (numbers land in [`Json::UInt`] when they are non-negative integers and in
+//! [`Json::Num`] otherwise), used by the `ise serve` line protocol and by the
+//! `serve_latency` harness to inspect daemon responses. `parse ∘ render = id` for
+//! every value the emitter can produce (property-tested below).
 //!
 //! # Example
 //!
@@ -73,6 +79,98 @@ impl Json {
         Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
+    /// Parses `text` as one JSON value (surrounding whitespace allowed).
+    ///
+    /// Strict over the emitter's subset: objects, arrays, strings with the standard
+    /// escapes (`\uXXXX` included, surrogate pairs supported), numbers, booleans and
+    /// `null`. Trailing garbage after the value is an error — a protocol line must be
+    /// exactly one value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with a byte offset and reason on malformed input.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ise_bench::json::Json;
+    ///
+    /// let doc = Json::parse(r#"{"op":"enumerate","budget":0,"warm":true}"#).unwrap();
+    /// assert_eq!(doc.get("op").and_then(Json::as_str), Some("enumerate"));
+    /// assert_eq!(doc.get("budget").and_then(Json::as_u64), Some(0));
+    /// assert_eq!(doc.get("warm").and_then(Json::as_bool), Some(true));
+    /// assert!(doc.get("missing").is_none());
+    /// assert!(Json::parse("{} trailing").is_err());
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        skip_ws(bytes, &mut pos);
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::new(pos, "trailing characters after the value"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object; `None` on missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The unsigned-integer content, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `f64` (integers included).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Renders the value as compact JSON.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -135,6 +233,232 @@ impl Json {
     }
 }
 
+/// Error returned by [`Json::parse`]: what went wrong and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, reason: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b' ' | b'\t' | b'\n' | b'\r') = bytes.get(*pos) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError::new(*pos, format!("expected `{}`", byte as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(_) => Err(JsonError::new(*pos, "expected a JSON value")),
+        None => Err(JsonError::new(*pos, "unexpected end of input")),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(JsonError::new(*pos, format!("expected `{literal}`")))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(pairs));
+            }
+            _ => return Err(JsonError::new(*pos, "expected `,` or `}` in object")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(JsonError::new(*pos, "expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::new(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let unit = parse_hex4(bytes, pos)?;
+                        // Decode surrogate pairs; lone surrogates are an error.
+                        let c = if (0xd800..0xdc00).contains(&unit) {
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let low = parse_hex4(bytes, pos)?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(JsonError::new(*pos, "invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(unit)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => return Err(JsonError::new(*pos, "invalid \\u escape")),
+                        }
+                        continue; // parse_hex4 already advanced past the digits
+                    }
+                    _ => return Err(JsonError::new(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(JsonError::new(*pos, "unescaped control character"));
+            }
+            Some(_) => {
+                // Copy one full UTF-8 scalar (the input is a &str, so boundaries are
+                // guaranteed; find the next boundary by skipping continuation bytes).
+                let start = *pos;
+                *pos += 1;
+                while bytes.get(*pos).is_some_and(|b| b & 0xc0 == 0x80) {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .expect("input came from a &str, boundaries are valid"),
+                );
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let digits = bytes
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| JsonError::new(*pos, "truncated \\u escape"))?;
+    let text =
+        std::str::from_utf8(digits).map_err(|_| JsonError::new(*pos, "non-ASCII in \\u escape"))?;
+    let unit =
+        u32::from_str_radix(text, 16).map_err(|_| JsonError::new(*pos, "invalid \\u escape"))?;
+    *pos += 4;
+    Ok(unit)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    // Integers that fit u64 keep full precision; everything else goes through f64.
+    if !text.contains(['.', 'e', 'E', '-']) {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::UInt(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError::new(start, format!("invalid number `{text}`")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +488,87 @@ mod tests {
             ("a", Json::array([Json::Null, Json::uint(2)])),
         ]);
         assert_eq!(doc.render(), r#"{"b":1,"a":[null,2]}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::object([
+            ("schema", Json::str("demo/v1")),
+            ("count", Json::uint(3)),
+            ("big", Json::UInt(u64::MAX)),
+            ("ratio", Json::num(0.5)),
+            ("flag", Json::bool(true)),
+            ("nothing", Json::Null),
+            (
+                "rows",
+                Json::array([
+                    Json::str("a\"b\\c\nd\tπ"),
+                    Json::Array(Vec::new()),
+                    Json::Object(Vec::new()),
+                ]),
+            ),
+        ]);
+        let text = doc.render();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.render(), text, "parse ∘ render = id");
+    }
+
+    #[test]
+    fn parse_accessors_navigate_objects() {
+        let doc = Json::parse(
+            "  {\"op\" : \"group\", \"flags\": {\"nin\": 4, \"x\": -1.5}, \
+             \"blocks\": [\"a\", \"b\"]}  ",
+        )
+        .unwrap();
+        assert_eq!(doc.get("op").and_then(Json::as_str), Some("group"));
+        let flags = doc.get("flags").unwrap();
+        assert_eq!(flags.get("nin").and_then(Json::as_u64), Some(4));
+        assert_eq!(flags.get("x").and_then(Json::as_f64), Some(-1.5));
+        assert_eq!(flags.as_object().map(<[_]>::len), Some(2));
+        let blocks = doc.get("blocks").and_then(Json::as_array).unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(doc.get("op").and_then(Json::as_u64), None, "type mismatch");
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogates() {
+        let parsed = Json::parse(r#""aA\né😀\/""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("aA\né😀/"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"lone\\ud800\"",
+            "01a",
+            "{} {}",
+            "nan",
+            "\u{1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Byte offsets point at the problem.
+        let err = Json::parse("[1, x]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn parse_numbers_keep_integer_precision() {
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(Json::parse("-2").unwrap(), Json::Num(-2.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
     }
 }

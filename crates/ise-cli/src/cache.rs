@@ -1,0 +1,324 @@
+//! Content-addressed result caching for the `ise serve` daemon.
+//!
+//! Three pieces, all dependency-free (DESIGN.md §7):
+//!
+//! * [`content_hash`] — a stable 128-bit hex digest over a list of byte strings,
+//!   computed with two independent FNV-1a accumulators. Stability matters more than
+//!   cryptographic strength here: the same inputs must produce the same key across
+//!   processes and restarts (so an on-disk cache written yesterday still hits
+//!   today), which rules out `std`'s randomly seeded hashers.
+//! * [`LruCache`] — a bounded, least-recently-used map from hex keys to values,
+//!   with hit/miss/eviction counters. The bound is a hard invariant: the cache
+//!   never holds more than `cap` entries (property-tested in `tests/serve.rs`).
+//! * [`ResponseCache`] — an [`LruCache`] over rendered response payloads, backed by
+//!   an optional on-disk directory (`--cache-dir`) so a restarted daemon answers
+//!   warm. Disk I/O is strictly best-effort: a read or write failure degrades to a
+//!   miss, never to a request error.
+//!
+//! Cache *keys* are derived from semantic request content only — canonical `.dfg`
+//! bytes ([`ise_corpus::CorpusBlock::canonical_bytes`]) plus the flag tokens of
+//! `ise_enum` ([`ise_enum::Constraints::cache_token`] and friends) — never from
+//! wall-clock time, thread counts or file paths. Cache *values* are fully rendered
+//! deterministic payloads, so a hit is a string lookup and the cold and warm bytes
+//! are identical by construction.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Stable 128-bit content hash of `parts`, as 32 lowercase hex characters.
+///
+/// Each part is length-prefixed before hashing, so `["ab", "c"]` and `["a", "bc"]`
+/// digest differently. Two FNV-1a 64-bit accumulators with different offset bases
+/// (the standard basis and its xor with a fixed constant) run over the same stream;
+/// their concatenation is the key. Deterministic across processes, platforms and
+/// releases — the contract an on-disk cache needs.
+///
+/// # Example
+///
+/// ```
+/// use ise_cli::cache::content_hash;
+///
+/// let key = content_hash(&["dfg a\nend\n", "nin=4;nout=2"]);
+/// assert_eq!(key.len(), 32);
+/// assert_eq!(key, content_hash(&["dfg a\nend\n", "nin=4;nout=2"]));
+/// assert_ne!(key, content_hash(&["dfg a\nend\n", "nin=4;nout=3"]));
+/// assert_ne!(content_hash(&["ab", "c"]), content_hash(&["a", "bc"]));
+/// ```
+pub fn content_hash(parts: &[&str]) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const TWIST: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut lo = OFFSET;
+    let mut hi = OFFSET ^ TWIST;
+    let mut eat = |byte: u8| {
+        lo = (lo ^ u64::from(byte)).wrapping_mul(PRIME);
+        hi = (hi ^ u64::from(byte)).wrapping_mul(PRIME);
+        hi = hi.rotate_left(1);
+    };
+    for part in parts {
+        for byte in (part.len() as u64).to_le_bytes() {
+            eat(byte);
+        }
+        for &byte in part.as_bytes() {
+            eat(byte);
+        }
+    }
+    format!("{lo:016x}{hi:016x}")
+}
+
+/// Hit/miss accounting of one cache, reported by the daemon's `stats` op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups answered by neither memory nor disk.
+    pub misses: u64,
+    /// Lookups missed in memory but recovered from the disk directory.
+    pub disk_hits: u64,
+    /// Entries inserted.
+    pub puts: u64,
+    /// Entries dropped to keep the cache within its capacity.
+    pub evictions: u64,
+}
+
+/// A bounded least-recently-used map from string keys to values.
+///
+/// `get` and `put` both refresh recency; inserting beyond the capacity evicts the
+/// least recently used entry first. With capacity 0 the cache stores nothing and
+/// every lookup misses — the `--cache-cap 0` off switch.
+///
+/// The recency list is a plain `Vec` scanned linearly: capacities here are request
+/// caches (tens to a few thousand entries), where the scan is noise next to
+/// rendering a single response.
+#[derive(Clone, Debug)]
+pub struct LruCache<V> {
+    map: HashMap<String, V>,
+    recency: Vec<String>,
+    cap: usize,
+    stats: CacheStats,
+}
+
+impl<V> LruCache<V> {
+    /// An empty cache holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            recency: Vec::new(),
+            cap,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The capacity this cache was created with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of entries currently held (`<= cap()` always).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The accounting so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        if self.map.contains_key(key) {
+            self.stats.hits += 1;
+            self.touch(key);
+            self.map.get(key)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts `key -> value` (refreshing recency on overwrite), evicting the least
+    /// recently used entries while the cache exceeds its capacity.
+    pub fn put(&mut self, key: &str, value: V) {
+        self.stats.puts += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(key.to_string(), value).is_none() {
+            self.recency.push(key.to_string());
+        } else {
+            self.touch(key);
+        }
+        while self.map.len() > self.cap {
+            let victim = self.recency.remove(0);
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn touch(&mut self, key: &str) {
+        if let Some(pos) = self.recency.iter().position(|k| k == key) {
+            let k = self.recency.remove(pos);
+            self.recency.push(k);
+        }
+    }
+}
+
+/// The daemon's response cache: a bounded in-memory [`LruCache`] over rendered
+/// payload strings, optionally backed by a directory of `<key>.json` files.
+///
+/// Disk reads re-populate memory (and count as [`CacheStats::disk_hits`]); disk
+/// writes happen on every insert. All disk I/O is best-effort — an unreadable or
+/// unwritable cache directory silently degrades the daemon to memory-only caching,
+/// because caching must never turn a computable request into an error.
+#[derive(Debug)]
+pub struct ResponseCache {
+    memory: LruCache<String>,
+    dir: Option<PathBuf>,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `cap` payloads in memory, mirrored to `dir` when
+    /// given (the directory is created eagerly, best-effort).
+    pub fn new(cap: usize, dir: Option<PathBuf>) -> Self {
+        if let Some(dir) = &dir {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        ResponseCache {
+            memory: LruCache::new(cap),
+            dir,
+        }
+    }
+
+    /// The accounting so far (disk hits included).
+    pub fn stats(&self) -> CacheStats {
+        self.memory.stats()
+    }
+
+    /// The in-memory capacity this cache was created with.
+    pub fn cap(&self) -> usize {
+        self.memory.cap()
+    }
+
+    /// Number of payloads currently in memory.
+    pub fn len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Whether the in-memory cache holds no payloads.
+    pub fn is_empty(&self) -> bool {
+        self.memory.is_empty()
+    }
+
+    /// Looks up `key` in memory, then on disk. A disk hit is promoted into memory.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        if let Some(hit) = self.memory.get(key) {
+            return Some(hit.clone());
+        }
+        let path = self.dir.as_ref()?.join(format!("{key}.json"));
+        let payload = std::fs::read_to_string(path).ok()?;
+        self.memory.stats.disk_hits += 1;
+        self.memory.put(key, payload.clone());
+        Some(payload)
+    }
+
+    /// Stores `key -> payload` in memory and, when configured, on disk.
+    pub fn put(&mut self, key: &str, payload: &str) {
+        self.memory.put(key, payload.to_string());
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::write(dir.join(format!("{key}.json")), payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        // Pinned value: the key doubles as an on-disk filename, so it must never
+        // drift between releases.
+        assert_eq!(content_hash(&[]), "cbf29ce48422232555c5e55dfb685f30");
+        assert_eq!(content_hash(&["a"]), content_hash(&["a"]));
+        assert_ne!(content_hash(&["a"]), content_hash(&["b"]));
+        assert_ne!(content_hash(&["a", "b"]), content_hash(&["ab"]));
+        assert_ne!(content_hash(&["", "a"]), content_hash(&["a", ""]));
+        assert!(content_hash(&["x"]).chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn lru_tracks_recency_and_evicts_oldest() {
+        let mut cache = LruCache::new(2);
+        cache.put("a", 1);
+        cache.put("b", 2);
+        assert_eq!(cache.get("a"), Some(&1), "refreshes a");
+        cache.put("c", 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("b"), None, "b was least recently used");
+        assert_eq!(cache.get("a"), Some(&1));
+        assert_eq!(cache.get("c"), Some(&3));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.puts, 3);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_overwrite_refreshes_without_growing() {
+        let mut cache = LruCache::new(2);
+        cache.put("a", 1);
+        cache.put("b", 2);
+        cache.put("a", 10);
+        assert_eq!(cache.len(), 2);
+        cache.put("c", 3);
+        assert_eq!(cache.get("b"), None, "overwriting a refreshed it past b");
+        assert_eq!(cache.get("a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = LruCache::new(0);
+        cache.put("a", 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("a"), None);
+        assert_eq!(
+            cache.stats().evictions,
+            0,
+            "nothing stored, nothing evicted"
+        );
+    }
+
+    #[test]
+    fn response_cache_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("ise-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut cache = ResponseCache::new(4, Some(dir.clone()));
+            cache.put("k1", "{\"x\":1}");
+            assert_eq!(cache.get("k1").as_deref(), Some("{\"x\":1}"));
+        }
+        // A fresh (restarted) cache recovers the payload from disk.
+        let mut cache = ResponseCache::new(4, Some(dir.clone()));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("k1").as_deref(), Some("{\"x\":1}"));
+        assert_eq!(cache.stats().disk_hits, 1);
+        assert_eq!(cache.len(), 1, "disk hit promoted into memory");
+        assert_eq!(cache.get("absent"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn response_cache_without_dir_is_memory_only() {
+        let mut cache = ResponseCache::new(1, None);
+        cache.put("a", "1");
+        cache.put("b", "2");
+        assert_eq!(cache.get("a"), None, "evicted, and no disk to recover from");
+        assert_eq!(cache.get("b").as_deref(), Some("2"));
+    }
+}

@@ -228,11 +228,27 @@ pub fn global_select_report(
     max_patterns: usize,
 ) -> (Json, String, GlobalSelection) {
     let index = group_outcomes(blocks, outcomes, config, meta.threads);
+    global_select_report_with_index(&index, blocks, outcomes, meta, config, max_patterns)
+}
+
+/// Like [`global_select_report`], but over a caller-provided [`PatternIndex`] —
+/// the entry point for callers that already hold (or incrementally maintain) the
+/// index, such as the `ise serve` daemon's coding cache, which must not re-code
+/// every block on every request. `index` must have been built over exactly
+/// `outcomes`' cut lists in corpus order.
+pub fn global_select_report_with_index(
+    index: &PatternIndex,
+    blocks: &[CorpusBlock],
+    outcomes: &[BlockOutcome],
+    meta: &RunMeta,
+    config: &GroupConfig,
+    max_patterns: usize,
+) -> (Json, String, GlobalSelection) {
     let views: Vec<&[Cut]> = outcomes
         .iter()
         .map(|o| o.enumeration.cuts.as_slice())
         .collect();
-    let selection = select_ises_global(&index, &views, max_patterns);
+    let selection = select_ises_global(index, &views, max_patterns);
 
     let model = &config.model;
     let software: Vec<u64> = blocks
@@ -299,7 +315,7 @@ pub fn global_select_report(
         ],
     );
 
-    let markdown = global_select_markdown(&index, outcomes, meta, &selection, &software);
+    let markdown = global_select_markdown(index, outcomes, meta, &selection, &software);
     (json, markdown, selection)
 }
 

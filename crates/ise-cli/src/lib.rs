@@ -54,13 +54,17 @@
 //! assert!(!outcomes[0].enumeration.cuts.is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
+// Deny rather than the workspace-wide forbid: the serve daemon's signal module
+// (`serve::sig`) opts in with an explicit allow for its one audited libc binding.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod args;
 pub mod batch;
+pub mod cache;
 pub mod group;
 pub mod report;
+pub mod serve;
 
 pub use args::Flags;
 
@@ -89,6 +93,7 @@ usage: ise <enumerate|select|group|report> [flags]
   ise report    --corpus PATH [--limit K]
                 [--dot BLOCK [--nin 4] [--nout 2] [--budget M]
                  [--max-instr 4] [--out FILE|-]]
+  ise serve     [--listen ADDR] [--cache-dir DIR] [--cache-cap 256]
 
 PATH is a .dfg file or a directory of .dfg files (default: corpus).
 --out/--md write JSON/markdown to FILE, or to stdout when FILE is `-`.
@@ -111,7 +116,14 @@ is credited with all of its non-overlapping occurrences. In global mode
 --max-instr bounds the number of distinct instruction patterns for the
 whole corpus and defaults to 0 = unlimited (select while profitable).
 `report --dot BLOCK` prints the block as a Graphviz digraph with its
-greedily selected ISEs highlighted.";
+greedily selected ISEs highlighted.
+`serve` runs a persistent daemon answering line-delimited JSON requests
+({\"op\":\"enumerate|select|group|stats|shutdown\",\"block\":...,\"flags\":{...}})
+on stdin/stdout or, with --listen ADDR, over TCP. Results are cached by
+a content hash of the canonical block bytes and the semantic flags;
+--cache-cap bounds each in-memory cache (0 disables) and --cache-dir
+persists responses across restarts. SIGTERM shuts the daemon down
+gracefully with exit status 0.";
 
 /// Error surface of the `ise` binary.
 #[derive(Debug)]
@@ -171,6 +183,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "select" => run_batch_command(&args[1..], true),
         "group" => run_group_command(&args[1..]),
         "report" => run_report_command(&args[1..]),
+        "serve" => serve::run_serve_command(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -310,6 +323,7 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
     let allowed = if select { SELECT_FLAGS } else { BATCH_FLAGS };
     let switches: &[&str] = if select { &["global"] } else { &[] };
     let flags = Flags::parse_with_switches(args, allowed, switches)?;
+    validate_out_targets(&flags)?;
     let common = parse_common(&flags)?;
     let global = flags.bool("global", false)?;
     let ports_in = flags.usize("ports-in", common.nin)?;
@@ -357,6 +371,7 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
 
 fn run_group_command(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, GROUP_FLAGS)?;
+    validate_out_targets(&flags)?;
     let common = parse_common(&flags)?;
     let ports_in = flags.usize("ports-in", common.nin)?;
     let ports_out = flags.usize("ports-out", common.nout)?;
@@ -406,6 +421,7 @@ const REPORT_FLAGS: &[&str] = &[
 
 fn run_report_command(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, REPORT_FLAGS)?;
+    validate_out_targets(&flags)?;
     let corpus = flags.string("corpus", "corpus");
     if flags.get("dot").is_none() {
         // Don't silently ignore flags that only make sense with --dot (a user
@@ -486,6 +502,55 @@ fn load_blocks(corpus: &str, flags: &Flags) -> Result<Vec<ise_corpus::CorpusBloc
         blocks.truncate(limit);
     }
     Ok(blocks)
+}
+
+/// Validates every output target of `flags` (`--out`, `--md`) **before** the long
+/// part of a run: a typo'd directory must fail in milliseconds, not after minutes
+/// of enumeration whose report then has nowhere to go. `-` (stdout) always
+/// validates; for files the parent directory must exist and an existing target
+/// must be a writable file (not a directory, not read-only).
+fn validate_out_targets(flags: &Flags) -> Result<(), CliError> {
+    for key in ["out", "md"] {
+        if let Some(target) = flags.get(key) {
+            validate_out_target(target)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_out_target(target: &str) -> Result<(), CliError> {
+    if target == "-" {
+        return Ok(());
+    }
+    let io_error = |kind, message: String| CliError::Io {
+        path: target.to_string(),
+        source: std::io::Error::new(kind, message),
+    };
+    let path = std::path::Path::new(target);
+    match std::fs::metadata(path) {
+        Ok(meta) if meta.is_dir() => {
+            return Err(io_error(
+                std::io::ErrorKind::InvalidInput,
+                "is a directory, not a writable file".to_string(),
+            ));
+        }
+        Ok(meta) if meta.permissions().readonly() => {
+            return Err(io_error(
+                std::io::ErrorKind::PermissionDenied,
+                "exists but is read-only".to_string(),
+            ));
+        }
+        _ => {}
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(io_error(
+                std::io::ErrorKind::NotFound,
+                format!("parent directory `{}` does not exist", parent.display()),
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn emit(target: &str, contents: &str) -> Result<(), CliError> {
@@ -723,6 +788,62 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("--dedup-mode"), "{err}");
+    }
+
+    #[test]
+    fn output_paths_are_validated_before_the_run() {
+        // The corpus path is deliberately nonexistent: getting the *output-path*
+        // error proves validation ran before corpus loading (and therefore before
+        // any enumeration work).
+        let bad_out = "/nonexistent-ise-dir/report.json";
+        for subcommand in ["enumerate", "select", "group"] {
+            let err = run(&argv(&[
+                subcommand,
+                "--corpus",
+                "/nonexistent-ise-corpus",
+                "--out",
+                bad_out,
+            ]))
+            .unwrap_err();
+            assert!(
+                matches!(&err, CliError::Io { path, .. } if path == bad_out),
+                "{subcommand}: {err}"
+            );
+            assert!(err.to_string().contains("parent directory"), "{err}");
+        }
+        // --md is validated too, and a directory target is rejected.
+        let dir = demo_corpus("outval");
+        let err = run(&argv(&[
+            "enumerate",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--md",
+            "/nonexistent-ise-dir/report.md",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("parent directory"), "{err}");
+        let err = run(&argv(&[
+            "report",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--dot",
+            "alpha",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("is a directory"), "{err}");
+        // Writable targets still pass (the happy paths of the other tests), and
+        // stdout (`-`) always validates.
+        run(&argv(&[
+            "enumerate",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--out",
+            dir.join("ok.json").to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,899 @@
+//! `ise serve`: a persistent enumeration daemon with a content-addressed cache.
+//!
+//! A long-running process accepting **line-delimited JSON** requests — one request
+//! per line, one response line per request — over stdin/stdout or, with
+//! `--listen ADDR`, over TCP. The protocol (DESIGN.md §7):
+//!
+//! ```text
+//! {"op":"enumerate"|"select"|"group", "block": <.dfg text or corpus path>,
+//!  "flags": {"nin":4, "nout":2, "budget":1000000, ...}}
+//! {"op":"stats"}      -> cache hit/miss/eviction counters (never cached)
+//! {"op":"shutdown"}   -> acknowledge and exit the serve loop
+//! ```
+//!
+//! A successful evaluation answers
+//! `{"ok":true,"op":...,"key":"<hex>","cached":bool,"elapsed_ms":N,"result":{...}}`;
+//! failures answer `{"ok":false,"error":"..."}` and the daemon keeps serving.
+//!
+//! **Caching.** Every evaluated request is keyed by a stable content hash
+//! ([`crate::cache::content_hash`]) over semantic inputs only: the canonical `.dfg`
+//! bytes of every block ([`ise_corpus::CorpusBlock::canonical_bytes`], so
+//! formatting-only variants of a block share a key), the engine flag tokens
+//! ([`ise_enum::Constraints::cache_token`], [`ise_enum::PruningConfig::cache_token`],
+//! budget, fan-out threshold, dedup mode) and the op-specific flags. Results are
+//! held in a bounded in-memory LRU ([`crate::cache::ResponseCache`]) backed by an
+//! optional `--cache-dir` directory that survives restarts. Below the response
+//! cache, per-block `Enumeration`s and canonical codings are cached under their own
+//! content keys, so an `enumerate` followed by a `group` over the same corpus
+//! re-enumerates nothing.
+//!
+//! **Determinism.** Cached payloads embed no wall times, thread counts or request
+//! paths (elapsed fields are zeroed, `threads` is pinned to 1, the `corpus` field
+//! is the corpus content key) — so a warm response is **byte-identical** to the
+//! cold response it replays, and the volatile facts (`cached`, `elapsed_ms`) live
+//! only in the envelope. CI's serve smoke strips the envelope fields and `cmp`s
+//! cold vs warm bytes.
+//!
+//! **Shutdown.** SIGTERM and SIGINT set a flag polled by both serve loops (the
+//! handler itself only stores an `AtomicBool`), so an in-flight request finishes,
+//! the loop exits and the process terminates with status 0 — what CI's smoke
+//! asserts after `kill -TERM`.
+
+use std::io::{self, BufRead, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use ise_bench::json::Json;
+use ise_canon::{canonicalize_cuts, CodedCut, GroupConfig, PatternIndex};
+use ise_corpus::{load_corpus_path, parse_corpus, CorpusBlock};
+use ise_enum::{select_ises, EnumContext, Enumeration, PruningConfig};
+use ise_graph::LatencyModel;
+
+use crate::batch::{run_batch, BatchConfig, BlockOutcome, SelectionConfig};
+use crate::cache::{content_hash, CacheStats, LruCache, ResponseCache};
+use crate::report::batch_json;
+use crate::{group, parse_common, CliError, CommonBatchArgs, Flags};
+
+/// Default bound, in entries, of each of the daemon's caches (`--cache-cap`).
+pub const DEFAULT_CACHE_CAP: usize = 256;
+
+/// Signal handling for graceful shutdown: SIGTERM/SIGINT set a flag the serve
+/// loops poll. The single `unsafe` block of the workspace lives here — one audited
+/// libc `signal` binding; the handler body is async-signal-safe (one atomic store).
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn terminated() -> bool {
+        TERMINATED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn terminated() -> bool {
+        false
+    }
+}
+
+const SERVE_FLAGS: &[&str] = &["listen", "cache-dir", "cache-cap"];
+
+/// Flags a request may carry, per op (the batch CLI's flags minus `corpus`, which
+/// the `block` field replaces, and the output-file flags, which a protocol response
+/// replaces).
+const REQ_COMMON: &[&str] = &[
+    "threads",
+    "nin",
+    "nout",
+    "budget",
+    "limit",
+    "par-threshold",
+    "dedup-mode",
+];
+const REQ_SELECT_EXTRA: &[&str] = &["max-instr", "ports-in", "ports-out"];
+const REQ_GROUP_EXTRA: &[&str] = &["ports-in", "ports-out", "min-count"];
+
+/// Runs `ise serve` until EOF, a `shutdown` request, or SIGTERM/SIGINT.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed serve flags, an unbindable `--listen`
+/// address, or a broken stdout pipe. Request-level failures are answered in-band
+/// (`{"ok":false,...}`) and never terminate the daemon.
+pub fn run_serve_command(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, SERVE_FLAGS)?;
+    let cap = flags.usize("cache-cap", DEFAULT_CACHE_CAP)?;
+    let dir = flags.get("cache-dir").map(PathBuf::from);
+    let mut state = ServerState::new(cap, dir);
+    sig::install();
+    match flags.get("listen") {
+        Some(addr) => serve_tcp(&mut state, addr),
+        None => serve_stdin(&mut state),
+    }
+}
+
+/// One daemon's caches and shutdown latch. [`ServerState::handle_line`] is the
+/// whole protocol — the serve loops only move lines in and out — so tests drive
+/// the daemon in-process without sockets.
+pub struct ServerState {
+    responses: ResponseCache,
+    enumerations: LruCache<(Enumeration, usize)>,
+    codings: LruCache<Vec<CodedCut>>,
+    shutdown: bool,
+}
+
+enum Reply {
+    /// An evaluated (possibly cached) request: the deterministic payload plus the
+    /// envelope facts.
+    Evaluated {
+        op: &'static str,
+        key: String,
+        cached: bool,
+        payload: String,
+    },
+    /// A control response emitted verbatim (`stats`, `shutdown`).
+    Bare(String),
+}
+
+impl ServerState {
+    /// A fresh state whose three caches (responses, per-block enumerations,
+    /// per-block codings) each hold at most `cap` entries; `cache_dir` persists
+    /// response payloads across restarts.
+    pub fn new(cap: usize, cache_dir: Option<PathBuf>) -> Self {
+        ServerState {
+            responses: ResponseCache::new(cap, cache_dir),
+            enumerations: LruCache::new(cap),
+            codings: LruCache::new(cap),
+            shutdown: false,
+        }
+    }
+
+    /// Whether a `shutdown` request has been acknowledged.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Handles one protocol line and returns the response line (without the
+    /// trailing newline). Never panics on malformed input — every failure becomes
+    /// an `{"ok":false,...}` response.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let started = Instant::now();
+        match self.dispatch(line) {
+            Ok(Reply::Evaluated {
+                op,
+                key,
+                cached,
+                payload,
+            }) => format!(
+                "{{\"ok\":true,\"op\":\"{op}\",\"key\":\"{key}\",\"cached\":{cached},\
+                 \"elapsed_ms\":{},\"result\":{payload}}}",
+                started.elapsed().as_millis(),
+            ),
+            Ok(Reply::Bare(text)) => text,
+            Err(error) => format!(
+                "{{\"ok\":false,\"error\":{}}}",
+                Json::str(error.to_string()).render()
+            ),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<Reply, CliError> {
+        let request =
+            Json::parse(line).map_err(|e| CliError::Usage(format!("request is not JSON: {e}")))?;
+        let op = request
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CliError::Usage("request needs a string `op` field".into()))?;
+        match op {
+            "enumerate" => self.evaluate("enumerate", &request),
+            "select" => self.evaluate("select", &request),
+            "group" => self.evaluate("group", &request),
+            "stats" => Ok(Reply::Bare(self.stats_response())),
+            "shutdown" => {
+                self.shutdown = true;
+                Ok(Reply::Bare("{\"ok\":true,\"op\":\"shutdown\"}".to_string()))
+            }
+            other => Err(CliError::Usage(format!(
+                "unknown op `{other}` (enumerate|select|group|stats|shutdown)"
+            ))),
+        }
+    }
+
+    /// The shared evaluate path: resolve blocks, derive the content key, answer
+    /// from the response cache or compute-and-fill.
+    fn evaluate(&mut self, op: &'static str, request: &Json) -> Result<Reply, CliError> {
+        let block_field = request
+            .get("block")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CliError::Usage("request needs a string `block` field".into()))?;
+        let (allowed, switches): (Vec<&str>, &[&str]) = match op {
+            "select" => (
+                [REQ_COMMON, REQ_SELECT_EXTRA].concat(),
+                &["global"] as &[&str],
+            ),
+            "group" => ([REQ_COMMON, REQ_GROUP_EXTRA].concat(), &[]),
+            _ => (REQ_COMMON.to_vec(), &[]),
+        };
+        let flags = flags_from_json(request.get("flags"), &allowed, switches)?;
+        let common = parse_common(&flags)?;
+
+        let mut blocks = resolve_blocks(block_field)?;
+        if flags.get("limit").is_some() {
+            let limit = flags.usize("limit", blocks.len())?;
+            blocks.truncate(limit);
+        }
+        let canonical: Vec<String> = blocks.iter().map(CorpusBlock::canonical_bytes).collect();
+        let engine_token = engine_token(&common);
+        let op_token = op_token(op, &common, &flags)?;
+
+        let mut parts: Vec<&str> = Vec::with_capacity(canonical.len() + 2);
+        parts.extend(canonical.iter().map(String::as_str));
+        parts.push(&engine_token);
+        parts.push(&op_token);
+        let key = content_hash(&parts);
+
+        if let Some(payload) = self.responses.get(&key) {
+            return Ok(Reply::Evaluated {
+                op,
+                key,
+                cached: true,
+                payload,
+            });
+        }
+        let payload = self.compute(op, &blocks, &canonical, &common, &flags, &engine_token)?;
+        self.responses.put(&key, &payload);
+        Ok(Reply::Evaluated {
+            op,
+            key,
+            cached: false,
+            payload,
+        })
+    }
+
+    fn compute(
+        &mut self,
+        op: &str,
+        blocks: &[CorpusBlock],
+        canonical: &[String],
+        common: &CommonBatchArgs,
+        flags: &Flags,
+        engine_token: &str,
+    ) -> Result<String, CliError> {
+        let select = op == "select";
+        let global = flags.bool("global", false)?;
+        let ports_in = flags.usize("ports-in", common.nin)?;
+        let ports_out = flags.usize("ports-out", common.nout)?;
+        let selection = if select && !global {
+            Some(SelectionConfig {
+                max_instructions: flags.usize("max-instr", 4)?,
+                ports_in,
+                ports_out,
+            })
+        } else {
+            None
+        };
+        let config = common.batch_config(selection);
+        let (outcomes, enum_keys) =
+            self.outcomes_with_cache(blocks, canonical, &config, engine_token);
+
+        // The deterministic payload: no wall times, no thread counts, no request
+        // paths. `corpus` names the corpus *content*, so an inline block and a file
+        // holding the same block render the same bytes.
+        let mut meta = common.meta(select, Duration::ZERO);
+        meta.threads = 1;
+        let corpus_parts: Vec<&str> = canonical.iter().map(String::as_str).collect();
+        meta.corpus = format!("cache:{}", content_hash(&corpus_parts));
+
+        let payload = match op {
+            "group" => {
+                let group_config = GroupConfig::new(ports_in, ports_out);
+                let index = self.index_with_cache(blocks, &outcomes, &enum_keys, &group_config);
+                let min_count = flags.usize("min-count", 1)?;
+                group::group_json(&index, &outcomes, &meta, min_count).render()
+            }
+            "select" if global => {
+                let group_config = GroupConfig::new(ports_in, ports_out);
+                let index = self.index_with_cache(blocks, &outcomes, &enum_keys, &group_config);
+                let max_patterns = flags.usize("max-instr", 0)?;
+                let (json, _, _) = group::global_select_report_with_index(
+                    &index,
+                    blocks,
+                    &outcomes,
+                    &meta,
+                    &group_config,
+                    max_patterns,
+                );
+                json.render()
+            }
+            _ => batch_json(&outcomes, &meta).render(),
+        };
+        Ok(payload)
+    }
+
+    /// Per-block enumeration through the content-addressed cache: cached blocks
+    /// are reconstructed, missed blocks run through the real batch scheduler (the
+    /// per-block result of [`run_batch`] is a function of the block and the config
+    /// alone, so a partial batch reproduces the full batch's rows exactly).
+    fn outcomes_with_cache(
+        &mut self,
+        blocks: &[CorpusBlock],
+        canonical: &[String],
+        config: &BatchConfig,
+        engine_token: &str,
+    ) -> (Vec<BlockOutcome>, Vec<String>) {
+        let keys: Vec<String> = canonical
+            .iter()
+            .map(|bytes| content_hash(&[bytes, engine_token]))
+            .collect();
+        let mut slots: Vec<Option<BlockOutcome>> = Vec::new();
+        slots.resize_with(blocks.len(), || None);
+        let mut missed: Vec<usize> = Vec::new();
+        for (i, block) in blocks.iter().enumerate() {
+            if let Some((enumeration, tasks)) = self.enumerations.get(&keys[i]).cloned() {
+                slots[i] = Some(rebuild_outcome(i, block, enumeration, tasks, config));
+            } else {
+                missed.push(i);
+            }
+        }
+        if !missed.is_empty() {
+            let misses: Vec<CorpusBlock> = missed.iter().map(|&i| blocks[i].clone()).collect();
+            let fresh = run_batch(&misses, config);
+            for (&i, mut outcome) in missed.iter().zip(fresh) {
+                self.enumerations
+                    .put(&keys[i], (outcome.enumeration.clone(), outcome.tasks));
+                outcome.index = i;
+                outcome.elapsed = Duration::ZERO;
+                slots[i] = Some(outcome);
+            }
+        }
+        let outcomes = slots
+            .into_iter()
+            .map(|slot| slot.expect("every block is either cached or freshly run"))
+            .collect();
+        (outcomes, keys)
+    }
+
+    /// Builds the pattern index over the outcomes through the per-block coding
+    /// cache, merging strictly in corpus order (the [`PatternIndex`] determinism
+    /// contract).
+    fn index_with_cache(
+        &mut self,
+        blocks: &[CorpusBlock],
+        outcomes: &[BlockOutcome],
+        enum_keys: &[String],
+        config: &GroupConfig,
+    ) -> PatternIndex {
+        let mut index = PatternIndex::new(config.clone());
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let ports = format!(
+                "code:ports-in={};ports-out={}",
+                config.ports_in, config.ports_out
+            );
+            let key = content_hash(&[&enum_keys[i], &ports]);
+            let coded = match self.codings.get(&key) {
+                Some(hit) => hit.clone(),
+                None => {
+                    let ctx = EnumContext::new(blocks[i].dfg.clone());
+                    let coded = canonicalize_cuts(&ctx, &outcome.enumeration.cuts, config);
+                    self.codings.put(&key, coded.clone());
+                    coded
+                }
+            };
+            index.add_coded_block(coded, blocks[i].weight());
+        }
+        index
+    }
+
+    fn stats_response(&self) -> String {
+        let cache = |stats: CacheStats, len: usize, cap: usize| {
+            Json::object([
+                ("hits", Json::UInt(stats.hits)),
+                ("misses", Json::UInt(stats.misses)),
+                ("disk_hits", Json::UInt(stats.disk_hits)),
+                ("puts", Json::UInt(stats.puts)),
+                ("evictions", Json::UInt(stats.evictions)),
+                ("entries", Json::uint(len)),
+                ("cap", Json::uint(cap)),
+            ])
+        };
+        let result = Json::object([
+            (
+                "responses",
+                cache(
+                    self.responses.stats(),
+                    self.responses.len(),
+                    self.responses.cap(),
+                ),
+            ),
+            (
+                "enumerations",
+                cache(
+                    self.enumerations.stats(),
+                    self.enumerations.len(),
+                    self.enumerations.cap(),
+                ),
+            ),
+            (
+                "codings",
+                cache(self.codings.stats(), self.codings.len(), self.codings.cap()),
+            ),
+        ]);
+        format!(
+            "{{\"ok\":true,\"op\":\"stats\",\"result\":{}}}",
+            result.render()
+        )
+    }
+}
+
+/// A cached block outcome, reconstructed from the block's structural facts plus
+/// the cached enumeration; the selection (when requested) is recomputed — it is a
+/// cheap deterministic function of the cuts.
+fn rebuild_outcome(
+    index: usize,
+    block: &CorpusBlock,
+    enumeration: Enumeration,
+    tasks: usize,
+    config: &BatchConfig,
+) -> BlockOutcome {
+    let selection = config.select.as_ref().map(|sel| {
+        let ctx = EnumContext::new(block.dfg.clone());
+        select_ises(
+            &ctx,
+            &enumeration.cuts,
+            &LatencyModel::default(),
+            sel.ports_in,
+            sel.ports_out,
+            sel.max_instructions,
+        )
+    });
+    BlockOutcome {
+        index,
+        name: block.dfg.name().to_string(),
+        nodes: block.dfg.len(),
+        edges: block.dfg.edge_count(),
+        forbidden: block.dfg.forbidden().len(),
+        tasks,
+        enumeration,
+        selection,
+        elapsed: Duration::ZERO,
+    }
+}
+
+/// The engine facts every evaluated op keys on: constraints, prunings, budget,
+/// fan-out threshold and dedup mode. Thread counts are deliberately absent — they
+/// never change a result byte.
+fn engine_token(common: &CommonBatchArgs) -> String {
+    format!(
+        "{};{};budget={};par-threshold={};dedup={}",
+        common.constraints.cache_token(),
+        PruningConfig::all().cache_token(),
+        common
+            .budget
+            .map_or_else(|| "none".to_string(), |b| b.to_string()),
+        common.par_threshold,
+        common.dedup_mode.as_str(),
+    )
+}
+
+/// The op-specific key facts, with the per-op flag defaults resolved so that an
+/// explicit `--max-instr 4` and the default key identically.
+fn op_token(op: &str, common: &CommonBatchArgs, flags: &Flags) -> Result<String, CliError> {
+    let ports_in = flags.usize("ports-in", common.nin)?;
+    let ports_out = flags.usize("ports-out", common.nout)?;
+    Ok(match op {
+        "select" => {
+            let global = flags.bool("global", false)?;
+            let max_instr = flags.usize("max-instr", if global { 0 } else { 4 })?;
+            format!(
+                "select:global={global};max-instr={max_instr};ports-in={ports_in};ports-out={ports_out}"
+            )
+        }
+        "group" => format!(
+            "group:ports-in={ports_in};ports-out={ports_out};min-count={}",
+            flags.usize("min-count", 1)?
+        ),
+        _ => "enumerate".to_string(),
+    })
+}
+
+/// Converts a request's `flags` object into the CLI flag parser's argv form, so
+/// the daemon accepts exactly the batch subcommands' flags with exactly their
+/// validation. JSON booleans map to switches (`"global":true`) or `true`/`false`
+/// values; numbers must be non-negative integers.
+fn flags_from_json(
+    flags: Option<&Json>,
+    allowed: &[&str],
+    switches: &[&str],
+) -> Result<Flags, CliError> {
+    let mut argv: Vec<String> = Vec::new();
+    if let Some(object) = flags {
+        let Json::Object(pairs) = object else {
+            return Err(CliError::Usage("`flags` must be a JSON object".into()));
+        };
+        for (key, value) in pairs {
+            match value {
+                Json::Bool(true) if switches.contains(&key.as_str()) => {
+                    argv.push(format!("--{key}"));
+                }
+                Json::Bool(false) if switches.contains(&key.as_str()) => {}
+                Json::Str(text) => {
+                    argv.push(format!("--{key}"));
+                    argv.push(text.clone());
+                }
+                Json::UInt(number) => {
+                    argv.push(format!("--{key}"));
+                    argv.push(number.to_string());
+                }
+                Json::Bool(flag) => {
+                    argv.push(format!("--{key}"));
+                    argv.push(flag.to_string());
+                }
+                _ => {
+                    return Err(CliError::Usage(format!(
+                        "flag `{key}` must be a string, integer or boolean"
+                    )));
+                }
+            }
+        }
+    }
+    Flags::parse_with_switches(&argv, allowed, switches)
+}
+
+/// Resolves the request's `block` field: inline `.dfg` text (anything containing a
+/// newline or starting like a block) is parsed directly, anything else is a
+/// filesystem path loaded like the batch subcommands' `--corpus`.
+fn resolve_blocks(block: &str) -> Result<Vec<CorpusBlock>, CliError> {
+    let trimmed = block.trim_start();
+    if block.contains('\n') || trimmed.starts_with("dfg ") || trimmed.starts_with('#') {
+        parse_corpus(block).map_err(|e| CliError::Usage(format!("inline block: {e}")))
+    } else {
+        load_corpus_path(block).map_err(CliError::from)
+    }
+}
+
+/// The stdin/stdout serve loop: a reader thread feeds a channel so the main loop
+/// can poll the shutdown flag every 100ms even while no request arrives. EOF on
+/// stdin ends the loop (the channel disconnects).
+fn serve_stdin(state: &mut ServerState) -> Result<(), CliError> {
+    let (sender, receiver) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if sender.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let stdout = io::stdout();
+    loop {
+        if sig::terminated() {
+            return Ok(());
+        }
+        match receiver.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = state.handle_line(&line);
+                let mut out = stdout.lock();
+                writeln!(out, "{response}")
+                    .and_then(|()| out.flush())
+                    .map_err(|source| CliError::Io {
+                        path: "<stdout>".to_string(),
+                        source,
+                    })?;
+                if state.shutdown_requested() {
+                    return Ok(());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+/// The TCP serve loop: a non-blocking accept loop (so SIGTERM is noticed within
+/// ~50ms even while idle) serving one connection at a time — the daemon is a
+/// per-corpus cache, not a concurrent job server. The bound address is announced
+/// on stdout so callers binding port 0 learn the port.
+fn serve_tcp(state: &mut ServerState, addr: &str) -> Result<(), CliError> {
+    let listener = TcpListener::bind(addr).map_err(|source| CliError::Io {
+        path: addr.to_string(),
+        source,
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|source| CliError::Io {
+            path: addr.to_string(),
+            source,
+        })?;
+    if let Ok(local) = listener.local_addr() {
+        println!("listening on {local}");
+        let _ = io::stdout().flush();
+    }
+    loop {
+        if sig::terminated() || state.shutdown_requested() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Connection-level I/O errors drop the connection, not the daemon.
+                let _ = serve_connection(state, stream);
+            }
+            Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Serves one TCP connection line by line. Reads poll with a 100ms timeout so a
+/// SIGTERM during an idle connection still shuts the daemon down promptly; a
+/// partial line survives the poll (it stays in `line` across timeouts).
+fn serve_connection(state: &mut ServerState, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    loop {
+        if sig::terminated() {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let response = state.handle_line(line.trim_end());
+                    writeln!(stream, "{response}")?;
+                    stream.flush()?;
+                    if state.shutdown_requested() {
+                        return Ok(());
+                    }
+                }
+                line.clear();
+            }
+            Err(error)
+                if error.kind() == io::ErrorKind::WouldBlock
+                    || error.kind() == io::ErrorKind::TimedOut => {}
+            Err(error) => return Err(error),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INLINE: &str = "dfg mac\nnode 0 in @a\nnode 1 in @x\nnode 2 in @acc\n\
+                          node 3 mul\nnode 4 add\nedge 0 3\nedge 1 3\nedge 3 4\nedge 2 4\n\
+                          output 4\nend\n";
+
+    fn request(op: &str, block: &str, flags: &str) -> String {
+        let doc = Json::object([("op", Json::str(op)), ("block", Json::str(block))]);
+        let mut text = doc.render();
+        if !flags.is_empty() {
+            text.truncate(text.len() - 1);
+            text.push_str(&format!(",\"flags\":{flags}}}"));
+        }
+        text
+    }
+
+    fn result_of(response: &str) -> Json {
+        let doc = Json::parse(response).expect("response is JSON");
+        assert_eq!(
+            doc.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+        doc.get("result").expect("result present").clone()
+    }
+
+    #[test]
+    fn enumerate_cold_then_warm_is_byte_identical() {
+        let mut state = ServerState::new(8, None);
+        let req = request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#);
+        let cold = state.handle_line(&req);
+        let warm = state.handle_line(&req);
+        let parse = |text: &str| Json::parse(text).unwrap();
+        assert_eq!(parse(&cold).get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(parse(&warm).get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(
+            result_of(&cold).render(),
+            result_of(&warm).render(),
+            "cold and warm payloads must be byte-identical"
+        );
+        assert_eq!(
+            parse(&cold).get("key"),
+            parse(&warm).get("key"),
+            "same request, same content key"
+        );
+    }
+
+    #[test]
+    fn formatting_only_variants_share_a_key_and_flag_changes_miss() {
+        let mut state = ServerState::new(8, None);
+        let noisy = format!(
+            "# comment\n\n{}",
+            INLINE.replace("node 3 mul", "node 3   mul")
+        );
+        let key_of = |state: &mut ServerState, block: &str, flags: &str| {
+            let response = state.handle_line(&request("enumerate", block, flags));
+            Json::parse(&response)
+                .unwrap()
+                .get("key")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        };
+        let base = key_of(&mut state, INLINE, r#"{"nin":3,"nout":1}"#);
+        assert_eq!(
+            base,
+            key_of(&mut state, &noisy, r#"{"nin":3,"nout":1}"#),
+            "comments and spacing must not change the cache key"
+        );
+        assert_ne!(base, key_of(&mut state, INLINE, r#"{"nin":2,"nout":1}"#));
+        assert_ne!(
+            base,
+            key_of(&mut state, INLINE, r#"{"nin":3,"nout":1,"budget":7}"#)
+        );
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_key_or_payload() {
+        let mut state = ServerState::new(8, None);
+        let one = state.handle_line(&request(
+            "enumerate",
+            INLINE,
+            r#"{"nin":3,"nout":1,"threads":1}"#,
+        ));
+        let four = state.handle_line(&request(
+            "enumerate",
+            INLINE,
+            r#"{"nin":3,"nout":1,"threads":4}"#,
+        ));
+        let doc = Json::parse(&four).unwrap();
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(true)), "{four}");
+        assert_eq!(result_of(&one).render(), result_of(&four).render());
+    }
+
+    #[test]
+    fn group_and_global_select_reuse_the_enumeration_cache() {
+        let mut state = ServerState::new(8, None);
+        let _ = state.handle_line(&request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#));
+        let enum_misses = state.enumerations.stats().misses;
+        let grouped = state.handle_line(&request("group", INLINE, r#"{"nin":3,"nout":1}"#));
+        assert!(
+            result_of(&grouped).render().contains("ise-cli/group/v1"),
+            "{grouped}"
+        );
+        let selected = state.handle_line(&request(
+            "select",
+            INLINE,
+            r#"{"nin":3,"nout":1,"global":true}"#,
+        ));
+        let selected_payload = result_of(&selected).render();
+        assert!(
+            selected_payload.contains("\"mode\":\"global\""),
+            "{selected}"
+        );
+        assert_eq!(
+            state.enumerations.stats().misses,
+            enum_misses,
+            "group and global select must hit the per-block enumeration cache"
+        );
+        assert!(
+            state.codings.stats().hits > 0,
+            "global select reuses group's coding"
+        );
+    }
+
+    #[test]
+    fn per_block_select_matches_modes_and_caches() {
+        let mut state = ServerState::new(8, None);
+        let response = state.handle_line(&request(
+            "select",
+            INLINE,
+            r#"{"nin":3,"nout":1,"max-instr":2}"#,
+        ));
+        let payload = result_of(&response).render();
+        assert!(payload.contains("\"mode\":\"per-block\""), "{response}");
+        assert!(payload.contains("\"selection\":{"), "{response}");
+        assert!(payload.contains("\"threads\":1"), "pinned: {response}");
+        assert!(payload.contains("\"corpus\":\"cache:"), "{response}");
+    }
+
+    #[test]
+    fn malformed_requests_answer_in_band_errors() {
+        let mut state = ServerState::new(8, None);
+        for (line, expect) in [
+            ("not json", "not JSON"),
+            ("{}", "`op` field"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"enumerate"}"#, "`block` field"),
+            (
+                r#"{"op":"enumerate","block":"dfg x\nend\n","flags":{"nin":0}}"#,
+                "--nin",
+            ),
+            (
+                r#"{"op":"enumerate","block":"dfg x\nend\n","flags":{"bogus":1}}"#,
+                "unknown flag",
+            ),
+            (
+                r#"{"op":"enumerate","block":"dfg x\nnode 0 bad-op\nend\n"}"#,
+                "inline block",
+            ),
+            (r#"{"op":"enumerate","block":"/nonexistent-ise-path"}"#, ""),
+        ] {
+            let response = state.handle_line(line);
+            let doc = Json::parse(&response).expect("error responses are JSON");
+            assert_eq!(
+                doc.get("ok"),
+                Some(&Json::Bool(false)),
+                "{line} -> {response}"
+            );
+            let message = doc.get("error").and_then(Json::as_str).unwrap();
+            assert!(message.contains(expect), "{line} -> {message}");
+        }
+    }
+
+    #[test]
+    fn stats_and_shutdown_ops_work() {
+        let mut state = ServerState::new(8, None);
+        let _ = state.handle_line(&request("enumerate", INLINE, ""));
+        let _ = state.handle_line(&request("enumerate", INLINE, ""));
+        let stats = state.handle_line(r#"{"op":"stats"}"#);
+        let doc = Json::parse(&stats).unwrap();
+        let responses = doc.get("result").and_then(|r| r.get("responses")).unwrap();
+        assert_eq!(responses.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(responses.get("misses").and_then(Json::as_u64), Some(1));
+        assert!(!state.shutdown_requested());
+        let bye = state.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("\"ok\":true"), "{bye}");
+        assert!(state.shutdown_requested());
+    }
+
+    #[test]
+    fn disk_cache_survives_a_restart_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("ise-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#);
+        let cold = {
+            let mut state = ServerState::new(8, Some(dir.clone()));
+            state.handle_line(&req)
+        };
+        let mut restarted = ServerState::new(8, Some(dir.clone()));
+        let warm = restarted.handle_line(&req);
+        assert_eq!(
+            Json::parse(&warm).unwrap().get("cached"),
+            Some(&Json::Bool(true)),
+            "{warm}"
+        );
+        assert_eq!(result_of(&cold).render(), result_of(&warm).render());
+        assert_eq!(restarted.responses.stats().disk_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -112,6 +112,34 @@ impl CorpusBlock {
             .filter(|w| w.is_finite() && *w > 0.0)
             .unwrap_or(1.0)
     }
+
+    /// The block's canonical serialization — the content-hash hook for result caches.
+    ///
+    /// Exactly [`write_block`] of this block: nodes in id order, operand-order edges,
+    /// sorted outputs and explicit forbids. Because the writer is canonical
+    /// (`write ∘ parse ∘ write = write`), two `.dfg` sources that differ only in
+    /// comments, blank lines, directive spacing or trailing whitespace produce **the
+    /// same bytes** — so a cache keyed on them (the `ise serve` daemon, DESIGN.md §7)
+    /// hits across formatting-only variants, while any semantic change (an opcode, an
+    /// edge, an output mark, a `meta` line) changes the bytes and misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block violates the serializability contract of
+    /// [`write_block`] (names with embedded newlines etc.); blocks obtained from
+    /// [`parse_corpus`] always serialize.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let noisy = "# a comment\ndfg t\n\nnode 0   in @a\nnode 1 not\nedge 0 1\nend\n";
+    /// let clean = "dfg t\nnode 0 in @a\nnode 1 not\nedge 0 1\nend\n";
+    /// let parse = |s| ise_corpus::parse_corpus(s).unwrap().remove(0);
+    /// assert_eq!(parse(noisy).canonical_bytes(), parse(clean).canonical_bytes());
+    /// ```
+    pub fn canonical_bytes(&self) -> String {
+        write_block(self)
+    }
 }
 
 /// Structural equality of two graphs as the interchange format defines it: same name,

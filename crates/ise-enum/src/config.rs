@@ -91,6 +91,32 @@ impl Constraints {
     pub fn max_depth(&self) -> Option<u32> {
         self.max_depth
     }
+
+    /// A stable serialization of every constraint field, for content-addressed cache
+    /// keys (see [`crate::EngineOptions::cache_token`] for the contract).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use ise_enum::Constraints;
+    ///
+    /// let c = Constraints::new(4, 2)?;
+    /// assert_eq!(c.cache_token(), "nin=4;nout=2;connected=false;depth=none");
+    /// assert_ne!(c.cache_token(), c.clone().connected_only(true).cache_token());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn cache_token(&self) -> String {
+        let depth = match self.max_depth {
+            None => "none".to_string(),
+            Some(d) => d.to_string(),
+        };
+        format!(
+            "nin={};nout={};connected={};depth={depth}",
+            self.max_inputs, self.max_outputs, self.connected
+        )
+    }
 }
 
 /// Error returned by [`Constraints::new`].
@@ -205,6 +231,32 @@ impl PruningConfig {
             "input_input",
             "dominator_input",
         ]
+    }
+
+    /// A stable serialization of the enabled techniques, for content-addressed cache
+    /// keys (see [`crate::EngineOptions::cache_token`] for the contract). Prunings
+    /// never change which cuts are valid, but they do change the search statistics a
+    /// budgeted run reports — so they belong in any key over reported results.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ise_enum::PruningConfig;
+    ///
+    /// assert_eq!(PruningConfig::all().cache_token(), "prune=111111");
+    /// assert_eq!(PruningConfig::none().cache_token(), "prune=000000");
+    /// ```
+    pub fn cache_token(&self) -> String {
+        let bits = [
+            self.output_output,
+            self.connectedness,
+            self.build_s,
+            self.output_input,
+            self.input_input,
+            self.dominator_input,
+        ];
+        let mask: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        format!("prune={mask}")
     }
 }
 

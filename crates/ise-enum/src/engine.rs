@@ -68,6 +68,16 @@ pub enum DedupMode {
     ValidateFirst,
 }
 
+impl DedupMode {
+    /// The stable lowercase name used in CLI flags, JSON reports and cache keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DedupMode::DedupFirst => "dedup-first",
+            DedupMode::ValidateFirst => "validate-first",
+        }
+    }
+}
+
 /// Per-run engine settings bundled for the entry points that need more than the
 /// defaults ([`run_with_options`], `incremental_cuts_opts`, the `par` module).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -79,6 +89,48 @@ pub struct EngineOptions {
     pub strategy: BodyStrategy,
     /// When candidates are de-duplicated relative to validation.
     pub dedup_mode: DedupMode,
+}
+
+impl EngineOptions {
+    /// A stable, unambiguous serialization of every field, for content-addressed
+    /// cache keys: two runs whose options produce the same token report the same
+    /// enumeration on the same graph (given equal constraints and prunings).
+    ///
+    /// The token is part of the `ise serve` cache-key derivation (DESIGN.md §7), so
+    /// its format is load-bearing: changing it invalidates every persisted cache
+    /// entry — which is exactly the safe failure mode when a new field changes what
+    /// the engine computes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ise_enum::EngineOptions;
+    ///
+    /// let defaults = EngineOptions::default();
+    /// assert_eq!(
+    ///     defaults.cache_token(),
+    ///     "budget=none;strategy=incremental;dedup=dedup-first"
+    /// );
+    /// let budgeted = EngineOptions {
+    ///     max_search_nodes: Some(1_000_000),
+    ///     ..defaults
+    /// };
+    /// assert_ne!(budgeted.cache_token(), EngineOptions::default().cache_token());
+    /// ```
+    pub fn cache_token(&self) -> String {
+        let budget = match self.max_search_nodes {
+            None => "none".to_string(),
+            Some(limit) => limit.to_string(),
+        };
+        let strategy = match self.strategy {
+            BodyStrategy::Incremental => "incremental",
+            BodyStrategy::Rebuild => "rebuild",
+        };
+        format!(
+            "budget={budget};strategy={strategy};dedup={}",
+            self.dedup_mode.as_str()
+        )
+    }
 }
 
 /// How the engine obtains the cut body at each `CHECK-CUT`.
