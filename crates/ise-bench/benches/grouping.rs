@@ -1,14 +1,19 @@
 //! Criterion companion of the E8 `grouping` binary: the cost of canonical coding
 //! and index maintenance relative to the enumeration that feeds them.
 //!
-//! Three measurements on one mid-size random DAG: enumeration alone (the
-//! baseline), canonical coding of the enumerated cuts (the grouping hot path), and
-//! the full group-and-select-globally pipeline over three corpus-like copies.
+//! Measurements on one mid-size random DAG: enumeration alone (the baseline),
+//! canonical coding of the enumerated cuts (the grouping hot path) plain and
+//! through a [`CanonMemo`] (cold: fresh memo each iteration; warm: a shared
+//! pre-populated memo, the serve steady state), and the full
+//! group-and-select-globally pipeline over three corpus-like copies.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ise_canon::{canonicalize_cuts, select_ises_global, GroupConfig, PatternIndex};
+use ise_canon::{
+    canonicalize_cuts, canonicalize_cuts_memo, select_ises_global, CanonMemo, GroupConfig,
+    PatternIndex,
+};
 use ise_enum::{incremental_cuts, Constraints, Cut, EnumContext, PruningConfig};
 use ise_workloads::random_dag::{random_dag, RandomDagConfig};
 
@@ -39,6 +44,17 @@ fn bench_grouping(c: &mut Criterion) {
     });
     group.bench_function("canonicalize_cuts", |b| {
         b.iter(|| canonicalize_cuts(&contexts[0], &cut_lists[0], &group_config))
+    });
+    group.bench_function("canonicalize_cuts_memo_cold", |b| {
+        b.iter(|| {
+            let memo = CanonMemo::new();
+            canonicalize_cuts_memo(&contexts[0], &cut_lists[0], &group_config, &memo)
+        })
+    });
+    let warm = CanonMemo::new();
+    canonicalize_cuts_memo(&contexts[0], &cut_lists[0], &group_config, &warm);
+    group.bench_function("canonicalize_cuts_memo_warm", |b| {
+        b.iter(|| canonicalize_cuts_memo(&contexts[0], &cut_lists[0], &group_config, &warm))
     });
     group.bench_function("group_and_select_global", |b| {
         b.iter(|| {

@@ -24,7 +24,11 @@
 //!
 //! See DESIGN.md §6 for the soundness and completeness argument.
 
-use ise_graph::{InterfaceGraph, InterfaceLabel, Operation};
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use ise_graph::{InterfaceGraph, InterfaceLabel};
 
 /// The canonical code of an [`InterfaceGraph`]: equal codes ⇔ isomorphic graphs.
 ///
@@ -61,15 +65,65 @@ use ise_graph::{InterfaceGraph, InterfaceLabel, Operation};
 ///
 /// assert_eq!(code_one, code_two);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct CanonicalCode(Vec<u32>);
+#[derive(Clone, Debug)]
+pub struct CanonicalCode {
+    /// The serialized words under the canonical node order — shared, because the
+    /// memo and the pattern index clone codes freely and the words never mutate.
+    words: Arc<[u32]>,
+    /// 64-bit digest of `words`, computed once at construction. Backs [`hash64`]
+    /// (`hex()` pattern ids, every report row) and fast-paths `Hash`/`Eq`, which
+    /// matter for the memo and grouping maps keyed by code.
+    ///
+    /// [`hash64`]: Self::hash64
+    digest: u64,
+}
+
+/// Equality fast-paths on the digest: different digests prove different words, equal
+/// digests are confirmed by the full word comparison (so collisions stay harmless).
+impl PartialEq for CanonicalCode {
+    fn eq(&self, other: &Self) -> bool {
+        self.digest == other.digest && self.words == other.words
+    }
+}
+
+impl Eq for CanonicalCode {}
+
+/// Ordering compares words only — the digest is derived, so this is consistent with
+/// `Eq` by construction.
+impl Ord for CanonicalCode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.words.cmp(&other.words)
+    }
+}
+
+impl PartialOrd for CanonicalCode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Hashing writes only the precomputed digest: `HashMap<CanonicalCode, _>` lookups
+/// no longer re-walk the word vector.
+impl Hash for CanonicalCode {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest);
+    }
+}
 
 impl CanonicalCode {
+    fn from_words(words: Vec<u32>) -> CanonicalCode {
+        let digest = digest_words(&words);
+        CanonicalCode {
+            words: words.into(),
+            digest,
+        }
+    }
+
     /// Computes the canonical code of `graph`.
     pub fn of(graph: &InterfaceGraph) -> CanonicalCode {
         let n = graph.len();
         if n == 0 {
-            return CanonicalCode(vec![0]);
+            return CanonicalCode::from_words(vec![0]);
         }
         // Reverse adjacency with operand positions: consumers[v] lists every
         // (position, consumer) pair where `consumer` reads `v` at `position`.
@@ -88,30 +142,19 @@ impl CanonicalCode {
 
         let mut best: Option<Vec<u32>> = None;
         search(graph, &consumers, colors, &mut best);
-        CanonicalCode(best.expect("the search visits at least one discrete leaf"))
+        CanonicalCode::from_words(best.expect("the search visits at least one discrete leaf"))
     }
 
     /// The raw serialized words of the code.
     pub fn as_words(&self) -> &[u32] {
-        &self.0
+        &self.words
     }
 
-    /// A 64-bit digest of the code (FNV-1a with a finalizer), for compact display.
-    /// Grouping itself always compares full codes, never digests.
+    /// The 64-bit digest of the code (FNV-1a with a finalizer), precomputed at
+    /// construction, for compact display. Grouping itself always compares full
+    /// codes, never digests.
     pub fn hash64(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for &w in &self.0 {
-            for b in w.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-        // Murmur-style finalizer so truncations of the digest stay well mixed.
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-        h ^ (h >> 33)
+        self.digest
     }
 
     /// The digest as a fixed-width lower-case hex string — the pattern id shown in
@@ -121,19 +164,29 @@ impl CanonicalCode {
     }
 }
 
-/// The initial color key of a node: inputs first, then body operations in the fixed
-/// [`Operation::all`] order, with the output flag as the low bit.
-fn initial_key(label: InterfaceLabel, is_output: bool) -> u32 {
-    let label_rank = match label {
-        InterfaceLabel::Input => 0,
-        InterfaceLabel::Op(op) => {
-            1 + Operation::all()
-                .iter()
-                .position(|&o| o == op)
-                .expect("every operation is listed in Operation::all") as u32
+/// FNV-1a over the little-endian word bytes with a murmur-style finalizer, so
+/// truncations of the digest stay well mixed. Also the default fingerprint of the
+/// memo's raw encodings (`memo::CanonMemo`).
+pub(crate) fn digest_words(words: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-    };
-    label_rank * 2 + u32::from(is_output)
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// The initial color key of a node — delegated to [`InterfaceLabel::stable_key`],
+/// which is also the per-node word of the raw encoding, so the refinement's starting
+/// coloring and the memo key can never disagree.
+fn initial_key(label: InterfaceLabel, is_output: bool) -> u32 {
+    label.stable_key(is_output)
 }
 
 /// Re-ranks arbitrary color values into dense ranks `0..k`, preserving order.
@@ -249,7 +302,7 @@ fn serialize(graph: &InterfaceGraph, colors: &[u32]) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ise_graph::{DenseNodeSet, Dfg, DfgBuilder, NodeId};
+    use ise_graph::{DenseNodeSet, Dfg, DfgBuilder, NodeId, Operation};
 
     fn whole_body(dfg: &Dfg) -> DenseNodeSet {
         DenseNodeSet::from_nodes(dfg.len(), dfg.node_ids().filter(|&v| !dfg.is_forbidden(v)))

@@ -3,9 +3,10 @@
 use std::collections::HashMap;
 
 use ise_enum::{estimate_merit, Cut, EnumContext};
-use ise_graph::LatencyModel;
+use ise_graph::{LatencyModel, RawEncoder};
 
 use crate::canon::CanonicalCode;
+use crate::memo::{merit_key, CanonMemo};
 
 /// One occurrence of a pattern: which block and which cut (by index into that
 /// block's enumeration order) realizes it.
@@ -52,7 +53,7 @@ impl Default for GroupConfig {
 /// [`PatternIndex::add_coded_block`] — the split exists so batch drivers can
 /// canonicalize blocks on worker threads and merge sequentially (deterministically)
 /// afterwards.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CodedCut {
     /// The canonical code of the cut's interface graph.
     pub code: CanonicalCode,
@@ -83,6 +84,88 @@ pub fn canonicalize_cuts(ctx: &EnumContext, cuts: &[Cut], config: &GroupConfig) 
                 inputs: cut.inputs().len(),
                 outputs: cut.outputs().len(),
                 ops: graph.ops_summary(),
+                saved_cycles: merit.saved_cycles,
+            }
+        })
+        .collect()
+}
+
+/// [`canonicalize_cuts`] through a shared [`CanonMemo`]: identical output (pinned
+/// by tests), but the backtracking labeler runs only for raw graphs the memo has
+/// never seen.
+///
+/// Per cut, the hot path is: encode the cut's interface graph into one reused
+/// buffer ([`RawEncoder`], no allocation after the first cut), look the encoding up
+/// in the memo, and on a hit copy the cached code/ops/merit — neither the
+/// [`ise_graph::InterfaceGraph`] nor the merit estimator's block-sized scratch is
+/// ever built. Merit is cached per `(ports_in, ports_out)` under the default
+/// latency model; a non-default model bypasses the merit cache (codes and ops
+/// still memoize) because the memo may be shared across configurations.
+///
+/// Caching merit by raw encoding is sound because equal encodings mean
+/// *identical* interface graphs: `estimate_merit` is a function of the graph's
+/// internal wiring and interface counts, so the cached value is bit-identical to
+/// a recomputation — determinism, not just accuracy.
+pub fn canonicalize_cuts_memo(
+    ctx: &EnumContext,
+    cuts: &[Cut],
+    config: &GroupConfig,
+    memo: &CanonMemo,
+) -> Vec<CodedCut> {
+    let dfg = ctx.dfg();
+    let mut encoder = RawEncoder::new(dfg);
+    let mut raw: Vec<u32> = Vec::new();
+    let cache_merit = config.model == LatencyModel::default();
+    let key = merit_key(config.ports_in, config.ports_out);
+    cuts.iter()
+        .map(|cut| {
+            encoder.encode(dfg, cut.body(), &mut raw);
+            if let Some(hit) = memo.lookup(&raw, key) {
+                let saved_cycles = match hit.saved_cycles.filter(|_| cache_merit) {
+                    Some(saved) => saved,
+                    None => {
+                        let merit = estimate_merit(
+                            ctx,
+                            cut,
+                            &config.model,
+                            config.ports_in,
+                            config.ports_out,
+                        );
+                        if cache_merit {
+                            memo.record_merit(&raw, key, merit.saved_cycles);
+                        }
+                        merit.saved_cycles
+                    }
+                };
+                return CodedCut {
+                    code: hit.code,
+                    size: cut.len(),
+                    inputs: cut.inputs().len(),
+                    outputs: cut.outputs().len(),
+                    ops: hit.ops,
+                    saved_cycles,
+                };
+            }
+            let graph = cut.interface_graph(ctx);
+            debug_assert_eq!(
+                graph.raw_encoding(),
+                raw,
+                "RawEncoder must agree with InterfaceGraph::extract"
+            );
+            let merit = estimate_merit(ctx, cut, &config.model, config.ports_in, config.ports_out);
+            let code = CanonicalCode::of(&graph);
+            let ops = graph.ops_summary();
+            // Under a non-default model the code and ops still memoize, but the
+            // merit is filed under a sentinel key no real port configuration
+            // maps to, so it can never be served to a default-model caller.
+            let stored_key = if cache_merit { key } else { u64::MAX };
+            memo.insert(&raw, &code, &ops, stored_key, merit.saved_cycles);
+            CodedCut {
+                code,
+                size: cut.len(),
+                inputs: cut.inputs().len(),
+                outputs: cut.outputs().len(),
+                ops,
                 saved_cycles: merit.saved_cycles,
             }
         })

@@ -13,6 +13,10 @@
 //! * [`PatternIndex`] — streams cuts from the engine/batch pipeline, de-duplicates
 //!   them by canonical code, and records per-pattern occurrence lists with static
 //!   and profile-weighted frequencies.
+//! * [`CanonMemo`] — a shared, lock-striped memo from raw interface-graph
+//!   encodings to canonical codes (fingerprint pre-key, confirmed by the full
+//!   encoding), so the labeler runs once per distinct raw graph instead of once
+//!   per cut; [`canonicalize_cuts_memo`] is the memoized coding path.
 //! * [`select_ises_global`] — corpus-level selection: pattern merit is
 //!   `occurrences × saved_cycles` with per-block overlap resolution, so recurrence
 //!   finally counts. The per-block greedy of `ise_enum::select_ises` remains
@@ -51,8 +55,13 @@
 
 mod canon;
 mod index;
+mod memo;
 mod select;
 
 pub use canon::CanonicalCode;
-pub use index::{canonicalize_cuts, CodedCut, GroupConfig, Occurrence, PatternEntry, PatternIndex};
+pub use index::{
+    canonicalize_cuts, canonicalize_cuts_memo, CodedCut, GroupConfig, Occurrence, PatternEntry,
+    PatternIndex,
+};
+pub use memo::{CanonMemo, MemoStats};
 pub use select::{select_ises_global, GlobalChoice, GlobalSelection};

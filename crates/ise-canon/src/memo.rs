@@ -1,0 +1,424 @@
+//! Fingerprint-keyed raw→canonical memoization — the grouping hot path's cache.
+//!
+//! `CanonicalCode::of` runs iterative refinement plus backtracking labeling once
+//! per cut, yet on real corpora the same few thousand patterns recur tens of
+//! thousands of times. Following the memoesu approach (SNIPPETS.md), [`CanonMemo`]
+//! memoizes `raw encoding → canonical code` so the labeler runs once per *distinct
+//! raw graph*, in three layers (DESIGN.md §6.4):
+//!
+//! 1. **Raw encoding.** [`ise_graph::RawEncoder`] serializes a cut's interface
+//!    graph into one reused `Vec<u32>` straight from `(dfg, body)` — labels,
+//!    operand wiring and output flags in local-id order. Equal encodings mean
+//!    *identical* (not merely isomorphic) interface graphs, so an exact-raw hit
+//!    skips graph construction, merit estimation and labeling entirely.
+//! 2. **64-bit fingerprint pre-key.** Entries are bucketed by a cheap fingerprint
+//!    of the raw encoding. A fingerprint hit is always confirmed by a full
+//!    raw-encoding comparison before the cached code is returned, so a collision
+//!    costs one extra comparison and can never produce a wrong code.
+//! 3. **Lock-striped sharing.** Buckets are spread over mutex-guarded shards
+//!    selected by fingerprint bits, so `canonicalize_cuts_memo` workers on
+//!    different blocks share one memo with negligible contention, and `ise serve`
+//!    keeps the memo warm in its `ServerState` across requests.
+//!
+//! Memoization is observably pure: a hit returns exactly the `CodedCut` fields a
+//! cold computation would produce (pinned by proptest in `tests/properties.rs` and
+//! by byte-identical grouped JSON in `tests/grouping_pipeline.rs` and CI).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::canon::{digest_words, CanonicalCode};
+
+/// A snapshot of one memo's counters, reported by `--memo-stats` and the daemon's
+/// `stats` op.
+///
+/// `raw_hits <= fingerprint_hits` always: a fingerprint hit is a bucket match, a
+/// raw hit is a bucket match whose full raw-encoding comparison also succeeded.
+/// The difference counts fingerprint collisions (in practice zero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the memo (fingerprint matched *and* the full raw
+    /// encoding compared equal) — the labeler was skipped.
+    pub raw_hits: u64,
+    /// Lookups whose fingerprint bucket held at least one candidate entry.
+    pub fingerprint_hits: u64,
+    /// Times the backtracking labeler actually ran (one per distinct raw graph,
+    /// plus at most one per thread racing on the same new graph).
+    pub labeler_runs: u64,
+    /// Distinct raw encodings currently stored.
+    pub entries: u64,
+}
+
+/// One memoized raw graph: the confirmed key, the cached pattern facts, and any
+/// merit values computed so far (keyed by port configuration).
+#[derive(Debug)]
+struct MemoEntry {
+    raw: Box<[u32]>,
+    code: CanonicalCode,
+    ops: String,
+    /// `(merit key, saved_cycles)` pairs — see [`merit_key`]. Raw-equal graphs are
+    /// identical, so the cached merit is bit-identical to a recomputation; a
+    /// linear scan suffices because a memo sees one or two port configurations.
+    merits: Vec<(u64, u32)>,
+}
+
+/// One lock stripe: fingerprint-keyed buckets plus the counters local to it.
+#[derive(Debug, Default)]
+struct Shard {
+    buckets: HashMap<u64, Vec<MemoEntry>>,
+    raw_hits: u64,
+    fingerprint_hits: u64,
+    labeler_runs: u64,
+}
+
+/// The packed merit-cache key for a `(ports_in, ports_out)` configuration.
+pub(crate) fn merit_key(ports_in: usize, ports_out: usize) -> u64 {
+    ((ports_in as u64) << 32) | ports_out as u64
+}
+
+/// A cached lookup result: the pattern facts stored for a raw encoding, plus the
+/// cached merit for the requested port configuration when one was recorded.
+pub(crate) struct MemoHit {
+    pub code: CanonicalCode,
+    pub ops: String,
+    pub saved_cycles: Option<u32>,
+}
+
+/// A shared, lock-striped memo from raw interface-graph encodings to canonical
+/// codes (plus cached ops summaries and merit values).
+///
+/// Cheap to share by reference across threads (`&CanonMemo` is `Sync`); lives for
+/// a whole `ise group`/`select --global` run, or across requests inside
+/// `ise serve`. The three lookup layers (raw encoding, fingerprint pre-key,
+/// lock striping) are described at the top of `memo.rs`.
+///
+/// # Example
+///
+/// ```
+/// use ise_canon::{CanonMemo, canonicalize_cuts_memo, GroupConfig};
+/// use ise_enum::{enumerate_cuts, Constraints, EnumContext};
+/// use ise_graph::{DfgBuilder, Operation};
+///
+/// let mut b = DfgBuilder::new("twice");
+/// for i in 0..2 {
+///     let a = b.input(format!("a{i}"));
+///     let c = b.input(format!("c{i}"));
+///     let s = b.node(Operation::Add, &[a, c]);
+///     b.mark_output(s);
+/// }
+/// let dfg = b.build().unwrap();
+/// let cuts = enumerate_cuts(&dfg, &Constraints::new(2, 1).unwrap()).unwrap();
+/// let ctx = EnumContext::new(dfg);
+///
+/// let memo = CanonMemo::new();
+/// let coded = canonicalize_cuts_memo(&ctx, &cuts.cuts, &GroupConfig::default(), &memo);
+/// assert_eq!(coded[0].code, coded[1].code, "the two adds are one pattern");
+/// let stats = memo.stats();
+/// assert!(stats.raw_hits >= 1, "the second add hits the memo");
+/// assert!(stats.labeler_runs < coded.len() as u64);
+/// ```
+#[derive(Debug)]
+pub struct CanonMemo {
+    shards: Box<[Mutex<Shard>]>,
+    fingerprint: fn(&[u32]) -> u64,
+}
+
+impl Default for CanonMemo {
+    fn default() -> Self {
+        CanonMemo::new()
+    }
+}
+
+impl CanonMemo {
+    /// Default shard count: enough stripes that the handful of coding workers a
+    /// 1-CPU-to-desktop machine runs almost never collide on a lock.
+    const DEFAULT_SHARDS: usize = 16;
+
+    /// An empty memo with the default shard count and fingerprint.
+    pub fn new() -> Self {
+        CanonMemo::with_fingerprinter(Self::DEFAULT_SHARDS, digest_words)
+    }
+
+    /// An empty memo with `shards` lock stripes (rounded up to a power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        CanonMemo::with_fingerprinter(shards, digest_words)
+    }
+
+    /// An empty memo with an explicit fingerprint function — the test seam that
+    /// makes fingerprint collisions reproducible (pass a constant function and
+    /// every raw encoding shares one bucket). Correctness never depends on the
+    /// fingerprint: hits are confirmed against the full raw encoding.
+    pub fn with_fingerprinter(shards: usize, fingerprint: fn(&[u32]) -> u64) -> Self {
+        let count = shards.next_power_of_two().max(1);
+        CanonMemo {
+            shards: (0..count).map(|_| Mutex::default()).collect(),
+            fingerprint,
+        }
+    }
+
+    fn shard_for(&self, fingerprint: u64) -> &Mutex<Shard> {
+        // Shard on the *high* fingerprint bits: the bucket HashMap consumes the
+        // full value, so any bits work, but distinct bits keep the two layers of
+        // bucketing independent.
+        &self.shards[(fingerprint >> 32) as usize & (self.shards.len() - 1)]
+    }
+
+    /// Looks up `raw`, returning the cached facts on a confirmed hit. `key` is
+    /// the [`merit_key`] whose cached saving to return (when recorded).
+    pub(crate) fn lookup(&self, raw: &[u32], key: u64) -> Option<MemoHit> {
+        let fingerprint = (self.fingerprint)(raw);
+        let mut guard = self.shard_for(fingerprint).lock().unwrap();
+        let shard = &mut *guard;
+        // An absent bucket is a fingerprint miss and counts nowhere.
+        let entries = shard.buckets.get(&fingerprint)?;
+        shard.fingerprint_hits += 1;
+        let entry = entries.iter().find(|e| *e.raw == *raw)?;
+        shard.raw_hits += 1;
+        Some(MemoHit {
+            code: entry.code.clone(),
+            ops: entry.ops.clone(),
+            saved_cycles: entry
+                .merits
+                .iter()
+                .find(|&&(k, _)| k == key)
+                .map(|&(_, s)| s),
+        })
+    }
+
+    /// Records a freshly computed graph: one labeler run, the resulting code and
+    /// ops, and the merit for `key`. If another thread raced us to the same raw
+    /// encoding the earlier entry wins (the values are identical by construction).
+    pub(crate) fn insert(
+        &self,
+        raw: &[u32],
+        code: &CanonicalCode,
+        ops: &str,
+        key: u64,
+        saved_cycles: u32,
+    ) {
+        let fingerprint = (self.fingerprint)(raw);
+        let mut shard = self.shard_for(fingerprint).lock().unwrap();
+        shard.labeler_runs += 1;
+        let bucket = shard.buckets.entry(fingerprint).or_default();
+        match bucket.iter_mut().find(|e| *e.raw == *raw) {
+            Some(entry) => {
+                debug_assert_eq!(entry.code, *code, "raced entries must agree");
+                if !entry.merits.iter().any(|&(k, _)| k == key) {
+                    entry.merits.push((key, saved_cycles));
+                }
+            }
+            None => bucket.push(MemoEntry {
+                raw: raw.into(),
+                code: code.clone(),
+                ops: ops.to_string(),
+                merits: vec![(key, saved_cycles)],
+            }),
+        }
+    }
+
+    /// Records the merit for `key` on an existing entry (a raw hit whose port
+    /// configuration had not been costed yet). A no-op if the entry vanished —
+    /// the memo never grows an entry without its labeler run.
+    pub(crate) fn record_merit(&self, raw: &[u32], key: u64, saved_cycles: u32) {
+        let fingerprint = (self.fingerprint)(raw);
+        let mut shard = self.shard_for(fingerprint).lock().unwrap();
+        if let Some(entry) = shard
+            .buckets
+            .get_mut(&fingerprint)
+            .and_then(|b| b.iter_mut().find(|e| *e.raw == *raw))
+        {
+            if !entry.merits.iter().any(|&(k, _)| k == key) {
+                entry.merits.push((key, saved_cycles));
+            }
+        }
+    }
+
+    /// A snapshot of the counters, summed over all shards.
+    pub fn stats(&self) -> MemoStats {
+        let mut stats = MemoStats::default();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap();
+            stats.raw_hits += shard.raw_hits;
+            stats.fingerprint_hits += shard.fingerprint_hits;
+            stats.labeler_runs += shard.labeler_runs;
+            stats.entries += shard.buckets.values().map(|b| b.len() as u64).sum::<u64>();
+        }
+        stats
+    }
+
+    /// Number of distinct raw encodings stored.
+    pub fn len(&self) -> usize {
+        self.stats().entries as usize
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{canonicalize_cuts, canonicalize_cuts_memo, GroupConfig};
+    use ise_enum::{enumerate_cuts, Constraints, EnumContext};
+    use ise_graph::{DfgBuilder, Operation};
+
+    /// A block holding `macs` MAC datapaths plus one unique xor-shift tail.
+    fn block(name: &str, macs: usize) -> (EnumContext, Vec<ise_enum::Cut>) {
+        let mut b = DfgBuilder::new(name);
+        for i in 0..macs {
+            let a = b.input(format!("a{i}"));
+            let x = b.input(format!("x{i}"));
+            let acc = b.input(format!("acc{i}"));
+            let m = b.node(Operation::Mul, &[a, x]);
+            let s = b.node(Operation::Add, &[m, acc]);
+            b.mark_output(s);
+        }
+        let p = b.input("p");
+        let q = b.node(Operation::Xor, &[p, p]);
+        let r = b.node(Operation::Shl, &[q]);
+        b.mark_output(r);
+        let dfg = b.build().unwrap();
+        let cuts = enumerate_cuts(&dfg, &Constraints::new(3, 1).unwrap()).unwrap();
+        (EnumContext::new(dfg), cuts.cuts)
+    }
+
+    #[test]
+    fn memoized_coding_matches_plain_coding_and_hits() {
+        let config = GroupConfig::new(3, 1);
+        let memo = CanonMemo::new();
+        for (name, macs) in [("a", 2), ("b", 1), ("c", 2)] {
+            let (ctx, cuts) = block(name, macs);
+            let plain = canonicalize_cuts(&ctx, &cuts, &config);
+            let memoized = canonicalize_cuts_memo(&ctx, &cuts, &config, &memo);
+            assert_eq!(plain.len(), memoized.len());
+            for (p, m) in plain.iter().zip(&memoized) {
+                assert_eq!(p.code, m.code);
+                assert_eq!(p.size, m.size);
+                assert_eq!(p.inputs, m.inputs);
+                assert_eq!(p.outputs, m.outputs);
+                assert_eq!(p.ops, m.ops);
+                assert_eq!(p.saved_cycles, m.saved_cycles);
+            }
+        }
+        let stats = memo.stats();
+        assert!(stats.raw_hits > 0, "recurring MACs must hit");
+        assert!(stats.labeler_runs > 0);
+        assert_eq!(
+            stats.entries, stats.labeler_runs,
+            "single-threaded: one labeler run per stored entry"
+        );
+        assert!(
+            stats.fingerprint_hits >= stats.raw_hits,
+            "every raw hit is first a fingerprint hit"
+        );
+        assert_eq!(memo.len(), stats.entries as usize);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn second_sweep_never_runs_the_labeler() {
+        let config = GroupConfig::new(3, 1);
+        let memo = CanonMemo::with_shards(4);
+        let (ctx, cuts) = block("warm", 2);
+        let cold = canonicalize_cuts_memo(&ctx, &cuts, &config, &memo);
+        let runs_after_cold = memo.stats().labeler_runs;
+        let warm = canonicalize_cuts_memo(&ctx, &cuts, &config, &memo);
+        let stats = memo.stats();
+        assert_eq!(stats.labeler_runs, runs_after_cold, "everything was cached");
+        assert_eq!(
+            stats.raw_hits,
+            2 * cuts.len() as u64 - stats.entries,
+            "warm sweep hits on every cut, cold sweep on repeats only"
+        );
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.code, w.code);
+            assert_eq!(c.saved_cycles, w.saved_cycles);
+        }
+    }
+
+    #[test]
+    fn forced_fingerprint_collision_still_yields_distinct_codes() {
+        // A constant fingerprint sends every raw encoding to one bucket: layer 2
+        // alone would conflate all graphs, so this pins the raw-encoding
+        // confirmation (and the collision accounting).
+        let config = GroupConfig::new(3, 1);
+        let memo = CanonMemo::with_fingerprinter(2, |_| 0x42);
+        let (ctx, cuts) = block("collide", 1);
+        let memoized = canonicalize_cuts_memo(&ctx, &cuts, &config, &memo);
+        let plain = canonicalize_cuts(&ctx, &cuts, &config);
+        for (p, m) in plain.iter().zip(&memoized) {
+            assert_eq!(p.code, m.code, "collisions must not corrupt codes");
+        }
+        // The MAC (add+mul) and the tail (shl+xor) are non-isomorphic but share
+        // the forced pre-key; they must still get distinct codes.
+        let mac = memoized.iter().find(|c| c.ops == "add+mul").unwrap();
+        let tail = memoized.iter().find(|c| c.ops == "shl+xor").unwrap();
+        assert_ne!(mac.code, tail.code);
+        let stats = memo.stats();
+        assert_eq!(stats.entries, stats.labeler_runs);
+        assert!(
+            stats.fingerprint_hits > stats.raw_hits,
+            "colliding lookups match the bucket but fail raw confirmation"
+        );
+    }
+
+    #[test]
+    fn merit_is_cached_per_port_configuration() {
+        let (ctx, cuts) = block("ports", 1);
+        let memo = CanonMemo::new();
+        let wide = canonicalize_cuts_memo(&ctx, &cuts, &GroupConfig::new(3, 1), &memo);
+        let runs = memo.stats().labeler_runs;
+        // Different ports: codes hit the memo (no new labeler runs), merits are
+        // recomputed for the new configuration — and match a cold run exactly.
+        let narrow = canonicalize_cuts_memo(&ctx, &cuts, &GroupConfig::new(2, 1), &memo);
+        assert_eq!(memo.stats().labeler_runs, runs);
+        let cold = canonicalize_cuts(&ctx, &cuts, &GroupConfig::new(2, 1));
+        for (c, n) in cold.iter().zip(&narrow) {
+            assert_eq!(c.saved_cycles, n.saved_cycles);
+            assert_eq!(c.code, n.code);
+        }
+        assert!(
+            wide.iter()
+                .zip(&narrow)
+                .any(|(w, n)| w.saved_cycles != n.saved_cycles),
+            "port pressure must change some merit, or this test checks nothing"
+        );
+    }
+
+    #[test]
+    fn sharing_one_memo_across_threads_is_deterministic() {
+        let config = GroupConfig::new(3, 1);
+        let blocks: Vec<_> = (0..4).map(|i| block(&format!("t{i}"), 1 + i % 2)).collect();
+        let serial: Vec<_> = blocks
+            .iter()
+            .map(|(ctx, cuts)| canonicalize_cuts(ctx, cuts, &config))
+            .collect();
+        let memo = CanonMemo::with_shards(2);
+        let parallel: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .iter()
+                .map(|(ctx, cuts)| {
+                    let memo = &memo;
+                    let config = &config;
+                    scope.spawn(move || canonicalize_cuts_memo(ctx, cuts, config, memo))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.len(), p.len());
+            for (a, b) in s.iter().zip(p.iter()) {
+                assert_eq!(a.code, b.code);
+                assert_eq!(a.saved_cycles, b.saved_cycles);
+                assert_eq!(a.ops, b.ops);
+            }
+        }
+        let stats = memo.stats();
+        assert!(
+            stats.labeler_runs >= stats.entries,
+            "races may run the labeler twice but never lose an entry"
+        );
+    }
+}

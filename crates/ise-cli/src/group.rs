@@ -16,7 +16,8 @@ use crate::batch::BlockOutcome;
 use crate::report::{batch_json_with, RunMeta};
 use ise_bench::json::Json;
 use ise_canon::{
-    canonicalize_cuts, select_ises_global, CodedCut, GlobalSelection, GroupConfig, PatternIndex,
+    canonicalize_cuts, canonicalize_cuts_memo, select_ises_global, CanonMemo, CodedCut,
+    GlobalSelection, GroupConfig, MemoStats, PatternIndex,
 };
 use ise_corpus::CorpusBlock;
 use ise_enum::{Cut, EnumContext};
@@ -28,11 +29,19 @@ use ise_enum::{Cut, EnumContext};
 /// sequential in block order, so the result is identical for every thread count.
 /// Block profile weights come from the `weight` meta key
 /// ([`CorpusBlock::weight`]).
+///
+/// With `memo` given, the workers share it through
+/// [`ise_canon::canonicalize_cuts_memo`]: the canonical labeler runs once per
+/// distinct raw interface graph corpus-wide instead of once per cut. The memo is
+/// observably pure — the returned index (and any JSON rendered from it) is
+/// byte-identical with and without one, at any thread count (pinned by
+/// `tests/grouping_pipeline.rs` and the CI grouping smoke).
 pub fn group_outcomes(
     blocks: &[CorpusBlock],
     outcomes: &[BlockOutcome],
     config: &GroupConfig,
     threads: usize,
+    memo: Option<&CanonMemo>,
 ) -> PatternIndex {
     let coded: Vec<OnceLock<Vec<CodedCut>>> =
         (0..outcomes.len()).map(|_| OnceLock::new()).collect();
@@ -46,7 +55,11 @@ pub fn group_outcomes(
                     break;
                 };
                 let ctx = EnumContext::new(blocks[outcome.index].dfg.clone());
-                let block_coded = canonicalize_cuts(&ctx, &outcome.enumeration.cuts, config);
+                let cuts = &outcome.enumeration.cuts;
+                let block_coded = match memo {
+                    Some(memo) => canonicalize_cuts_memo(&ctx, cuts, config, memo),
+                    None => canonicalize_cuts(&ctx, cuts, config),
+                };
                 coded[i]
                     .set(block_coded)
                     .expect("each block is coded exactly once");
@@ -66,11 +79,17 @@ pub fn group_outcomes(
 /// pattern table ranked by profile-weighted potential saving (first-seen order on
 /// ties). Patterns with fewer than `min_count` occurrences are omitted from the
 /// table but still counted in the aggregate.
+///
+/// `memo_stats` (from [`CanonMemo::stats`], requested with `--memo-stats`) adds a
+/// `memo` object to the run metadata. It is opt-in because the counters are *not*
+/// deterministic across thread counts (racing workers may both label the same new
+/// graph), unlike every other byte of the document.
 pub fn group_json(
     index: &PatternIndex,
     outcomes: &[BlockOutcome],
     meta: &RunMeta,
     min_count: usize,
+    memo_stats: Option<&MemoStats>,
 ) -> Json {
     let blocks: Vec<Json> = outcomes
         .iter()
@@ -129,7 +148,7 @@ pub fn group_json(
         .iter()
         .map(ise_canon::PatternEntry::potential_saved_cycles)
         .sum();
-    Json::object([
+    let mut fields = vec![
         ("schema", Json::str("ise-cli/group/v1")),
         ("corpus", Json::str(meta.corpus.clone())),
         ("nin", Json::uint(meta.nin)),
@@ -137,6 +156,11 @@ pub fn group_json(
         ("threads", Json::uint(meta.threads)),
         ("budget", meta.budget.map_or(Json::Null, Json::uint)),
         ("min_count", Json::uint(min_count)),
+    ];
+    if let Some(stats) = memo_stats {
+        fields.push(("memo", memo_stats_json(stats)));
+    }
+    fields.extend([
         ("blocks", Json::Array(blocks)),
         ("patterns", Json::Array(patterns)),
         (
@@ -152,17 +176,30 @@ pub fn group_json(
                 ("elapsed_seconds", Json::num(meta.elapsed.as_secs_f64())),
             ]),
         ),
+    ]);
+    Json::object(fields)
+}
+
+/// The `memo` object shared by `--memo-stats` output and the daemon's `stats` op:
+/// the four [`MemoStats`] counters, verbatim.
+pub fn memo_stats_json(stats: &MemoStats) -> Json {
+    Json::object([
+        ("raw_hits", Json::UInt(stats.raw_hits)),
+        ("fingerprint_hits", Json::UInt(stats.fingerprint_hits)),
+        ("labeler_runs", Json::UInt(stats.labeler_runs)),
+        ("entries", Json::UInt(stats.entries)),
     ])
 }
 
 /// Renders the human-readable markdown companion of [`group_json`], showing at most
-/// `top` patterns.
+/// `top` patterns. `memo_stats` adds one summary line under the heading.
 pub fn group_markdown(
     index: &PatternIndex,
     outcomes: &[BlockOutcome],
     meta: &RunMeta,
     min_count: usize,
     top: usize,
+    memo_stats: Option<&MemoStats>,
 ) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -185,6 +222,15 @@ pub fn group_markdown(
         meta.nout,
     )
     .expect("writing to a String cannot fail");
+    if let Some(stats) = memo_stats {
+        writeln!(
+            out,
+            "Canonicalization memo: {} raw hits, {} fingerprint hits, \
+             {} labeler runs, {} entries.\n",
+            stats.raw_hits, stats.fingerprint_hits, stats.labeler_runs, stats.entries,
+        )
+        .expect("writing to a String cannot fail");
+    }
     out.push_str(
         "| pattern | size | in | out | ops | count | blocks | example | saved/occ | est. saving |\n\
          |---|---:|---:|---:|---|---:|---:|---|---:|---:|\n",
@@ -226,8 +272,9 @@ pub fn global_select_report(
     meta: &RunMeta,
     config: &GroupConfig,
     max_patterns: usize,
+    memo: Option<&CanonMemo>,
 ) -> (Json, String, GlobalSelection) {
-    let index = group_outcomes(blocks, outcomes, config, meta.threads);
+    let index = group_outcomes(blocks, outcomes, config, meta.threads, memo);
     global_select_report_with_index(&index, blocks, outcomes, meta, config, max_patterns)
 }
 
@@ -429,7 +476,7 @@ mod tests {
         let blocks = demo_blocks();
         let outcomes = outcomes(&blocks, 2);
         let config = GroupConfig::new(3, 1);
-        let index = group_outcomes(&blocks, &outcomes, &config, 2);
+        let index = group_outcomes(&blocks, &outcomes, &config, 2, None);
         let mac = index
             .entries()
             .iter()
@@ -447,11 +494,18 @@ mod tests {
     fn grouping_is_thread_count_invariant() {
         let blocks = demo_blocks();
         let config = GroupConfig::new(3, 1);
-        let base = group_outcomes(&blocks, &outcomes(&blocks, 1), &config, 1);
+        let base = group_outcomes(&blocks, &outcomes(&blocks, 1), &config, 1, None);
         for threads in [2, 4] {
-            let other = group_outcomes(&blocks, &outcomes(&blocks, threads), &config, threads);
+            let memo = CanonMemo::new();
+            let other = group_outcomes(
+                &blocks,
+                &outcomes(&blocks, threads),
+                &config,
+                threads,
+                Some(&memo),
+            );
             let render = |index: &PatternIndex, t: usize| {
-                group_json(index, &outcomes(&blocks, t), &meta(t), 1).render()
+                group_json(index, &outcomes(&blocks, t), &meta(t), 1, None).render()
             };
             // Strip wall times; everything else must match byte for byte.
             let strip = |s: String| {
@@ -469,21 +523,49 @@ mod tests {
         let blocks = demo_blocks();
         let outcomes = outcomes(&blocks, 1);
         let config = GroupConfig::new(3, 1);
-        let index = group_outcomes(&blocks, &outcomes, &config, 1);
-        let json = group_json(&index, &outcomes, &meta(1), 1).render();
+        let index = group_outcomes(&blocks, &outcomes, &config, 1, None);
+        let json = group_json(&index, &outcomes, &meta(1), 1, None).render();
         assert!(json.contains(r#""schema":"ise-cli/group/v1""#), "{json}");
         assert!(json.contains(r#""cross_block_patterns":"#), "{json}");
         assert!(json.contains(r#""example_block":"alpha""#), "{json}");
-        let md = group_markdown(&index, &outcomes, &meta(1), 1, 10);
+        assert!(!json.contains(r#""memo""#), "memo object is opt-in");
+        let md = group_markdown(&index, &outcomes, &meta(1), 1, 10, None);
         assert!(md.starts_with("# ISE pattern grouping report"));
         assert!(md.contains("| pattern | size |"));
         assert!(md.contains("add+mul"));
+        assert!(!md.contains("Canonicalization memo"));
         // min_count filters the table (every pattern of the twin-block demo corpus
         // occurs exactly twice, so a threshold of 3 empties it).
-        let filtered = group_json(&index, &outcomes, &meta(1), 3).render();
+        let filtered = group_json(&index, &outcomes, &meta(1), 3, None).render();
         assert!(filtered.contains(r#""min_count":3"#));
         assert!(filtered.contains(r#""shown_patterns":0"#), "{filtered}");
         assert!(filtered.len() < json.len());
+    }
+
+    #[test]
+    fn memoized_grouping_renders_identical_json_and_reports_stats() {
+        let blocks = demo_blocks();
+        let outcomes = outcomes(&blocks, 1);
+        let config = GroupConfig::new(3, 1);
+        let plain = group_outcomes(&blocks, &outcomes, &config, 1, None);
+        let memo = CanonMemo::new();
+        let memoized = group_outcomes(&blocks, &outcomes, &config, 1, Some(&memo));
+        assert_eq!(
+            group_json(&plain, &outcomes, &meta(1), 1, None).render(),
+            group_json(&memoized, &outcomes, &meta(1), 1, None).render(),
+            "memoization must be observably pure"
+        );
+        let stats = memo.stats();
+        assert!(stats.raw_hits > 0, "the MAC recurs across the two blocks");
+        assert!(stats.labeler_runs < plain.total_cuts() as u64);
+        let with_stats = group_json(&memoized, &outcomes, &meta(1), 1, Some(&stats)).render();
+        assert!(
+            with_stats.contains(r#""memo":{"raw_hits":"#),
+            "{with_stats}"
+        );
+        assert!(with_stats.contains(r#""labeler_runs":"#), "{with_stats}");
+        let md = group_markdown(&memoized, &outcomes, &meta(1), 1, 10, Some(&stats));
+        assert!(md.contains("Canonicalization memo:"), "{md}");
     }
 
     #[test]
@@ -491,7 +573,14 @@ mod tests {
         let blocks = demo_blocks();
         let outcomes = outcomes(&blocks, 1);
         let config = GroupConfig::new(3, 1);
-        let (json, md, selection) = global_select_report(&blocks, &outcomes, &meta(1), &config, 0);
+        let (json, md, selection) = global_select_report(
+            &blocks,
+            &outcomes,
+            &meta(1),
+            &config,
+            0,
+            Some(&CanonMemo::new()),
+        );
         assert!(!selection.chosen.is_empty());
         let text = json.render();
         assert!(text.contains(r#""schema":"ise-cli/select/v1""#), "{text}");

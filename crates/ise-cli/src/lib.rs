@@ -72,7 +72,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
-use ise_canon::GroupConfig;
+use ise_canon::{CanonMemo, GroupConfig};
 use ise_corpus::{load_corpus_path, CorpusError};
 use ise_enum::{Constraints, DedupMode, PruningConfig};
 
@@ -88,8 +88,10 @@ usage: ise <enumerate|select|group|report> [flags]
                 [--par-threshold V] [--dedup-mode dedup-first|validate-first]
   ise select    (same flags as enumerate)
                 [--max-instr 4] [--ports-in N] [--ports-out N] [--global]
+                [--no-memo]
   ise group     (same flags as enumerate)
                 [--ports-in N] [--ports-out N] [--min-count 1] [--top 40|0=all]
+                [--no-memo] [--memo-stats]
   ise report    --corpus PATH [--limit K]
                 [--dot BLOCK [--nin 4] [--nout 2] [--budget M]
                  [--max-instr 4] [--out FILE|-]]
@@ -110,7 +112,11 @@ duplicate candidates; the reported cuts are identical.
 `group` recognizes structurally identical (isomorphic) candidates across
 the whole corpus by canonical code and reports each pattern's occurrence
 count and estimated corpus-wide saving; --min-count hides rarer patterns
-from the table, --top caps the markdown table.
+from the table, --top caps the markdown table. Canonicalization runs
+through a shared memo (the labeler runs once per distinct raw interface
+graph, not once per cut); --no-memo disables it — the reports are
+byte-identical either way — and --memo-stats adds the memo's hit/miss
+counters to the JSON meta and the markdown summary.
 `select --global` selects by corpus-wide benefit: one custom instruction
 is credited with all of its non-overlapping occurrences. In global mode
 --max-instr bounds the number of distinct instruction patterns for the
@@ -321,7 +327,7 @@ impl CommonBatchArgs {
 
 fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
     let allowed = if select { SELECT_FLAGS } else { BATCH_FLAGS };
-    let switches: &[&str] = if select { &["global"] } else { &[] };
+    let switches: &[&str] = if select { &["global", "no-memo"] } else { &[] };
     let flags = Flags::parse_with_switches(args, allowed, switches)?;
     validate_out_targets(&flags)?;
     let common = parse_common(&flags)?;
@@ -350,13 +356,27 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
         // another occurrence costs no additional opcode.
         let group_config = GroupConfig::new(ports_in, ports_out);
         let max_patterns = flags.usize("max-instr", 0)?;
-        let (json, markdown, _) =
-            group::global_select_report(&blocks, &outcomes, &meta, &group_config, max_patterns);
+        let memo = (!flags.bool("no-memo", false)?).then(CanonMemo::new);
+        let (json, markdown, _) = group::global_select_report(
+            &blocks,
+            &outcomes,
+            &meta,
+            &group_config,
+            max_patterns,
+            memo.as_ref(),
+        );
         emit(&flags.string("out", "-"), &(json.render() + "\n"))?;
         if let Some(md) = flags.get("md") {
             emit(md, &markdown)?;
         }
         return Ok(());
+    }
+    if flags.bool("no-memo", false)? {
+        return Err(CliError::Usage(
+            "`--no-memo` only applies to `select --global` (per-block selection \
+             does not canonicalize)"
+                .to_string(),
+        ));
     }
 
     emit(
@@ -370,7 +390,7 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
 }
 
 fn run_group_command(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, GROUP_FLAGS)?;
+    let flags = Flags::parse_with_switches(args, GROUP_FLAGS, &["no-memo", "memo-stats"])?;
     validate_out_targets(&flags)?;
     let common = parse_common(&flags)?;
     let ports_in = flags.usize("ports-in", common.nin)?;
@@ -380,6 +400,12 @@ fn run_group_command(args: &[String]) -> Result<(), CliError> {
         0 => usize::MAX, // 0 = unlimited, consistent with --budget / global --max-instr
         top => top,
     };
+    let memo = (!flags.bool("no-memo", false)?).then(CanonMemo::new);
+    if flags.bool("memo-stats", false)? && memo.is_none() {
+        return Err(CliError::Usage(
+            "`--memo-stats` needs the memo; drop `--no-memo`".to_string(),
+        ));
+    }
 
     let blocks = load_blocks(&common.corpus, &flags)?;
     let config = common.batch_config(None);
@@ -390,17 +416,31 @@ fn run_group_command(args: &[String]) -> Result<(), CliError> {
         &outcomes,
         &GroupConfig::new(ports_in, ports_out),
         common.threads,
+        memo.as_ref(),
     );
     let meta = common.meta(false, start.elapsed());
+    let memo_stats = if flags.bool("memo-stats", false)? {
+        memo.as_ref().map(|m| m.stats())
+    } else {
+        None
+    };
 
     emit(
         &flags.string("out", "-"),
-        &(group::group_json(&index, &outcomes, &meta, min_count).render() + "\n"),
+        &(group::group_json(&index, &outcomes, &meta, min_count, memo_stats.as_ref()).render()
+            + "\n"),
     )?;
     if let Some(md) = flags.get("md") {
         emit(
             md,
-            &group::group_markdown(&index, &outcomes, &meta, min_count, top),
+            &group::group_markdown(
+                &index,
+                &outcomes,
+                &meta,
+                min_count,
+                top,
+                memo_stats.as_ref(),
+            ),
         )?;
     }
     Ok(())
@@ -676,6 +716,83 @@ mod tests {
                 .join(",")
         };
         assert_eq!(strip(&one), strip(&four));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memo_flags_are_observable_and_pure() {
+        let dir = demo_corpus("memo");
+        let render = |tag: &str, extra: &[&str]| {
+            let out = dir.join(format!("m{tag}.json"));
+            let mut args = argv(&["group", "--corpus", dir.to_str().unwrap()]);
+            args.extend(argv(extra));
+            args.extend(argv(&["--out", out.to_str().unwrap()]));
+            run(&args).unwrap();
+            std::fs::read_to_string(&out).unwrap()
+        };
+        let strip = |s: &str| {
+            s.split(',')
+                .filter(|f| !f.contains("_seconds"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        // Memo on (default) and off produce byte-identical reports, wall times aside.
+        let on = render("on", &[]);
+        let off = render("off", &["--no-memo"]);
+        assert_eq!(
+            strip(&on),
+            strip(&off),
+            "memoization must be observably pure"
+        );
+        assert!(!on.contains(r#""memo""#), "stats are opt-in");
+        // --memo-stats surfaces the counters in the meta.
+        let stats = render("stats", &["--memo-stats"]);
+        assert!(stats.contains(r#""memo":{"raw_hits":"#), "{stats}");
+        assert!(stats.contains(r#""labeler_runs":"#), "{stats}");
+        // Conflicting and misplaced switches fail loudly.
+        let err = run(&argv(&[
+            "group",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--no-memo",
+            "--memo-stats",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--memo-stats"), "{err}");
+        let err = run(&argv(&[
+            "select",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--no-memo",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--no-memo"), "{err}");
+        // select --global accepts --no-memo and still matches the memoized run.
+        let g1 = dir.join("g1.json");
+        let g2 = dir.join("g2.json");
+        run(&argv(&[
+            "select",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--global",
+            "--out",
+            g1.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "select",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--global",
+            "--no-memo",
+            "--out",
+            g2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            strip(&std::fs::read_to_string(&g1).unwrap()),
+            strip(&std::fs::read_to_string(&g2).unwrap())
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -25,7 +25,11 @@
 //! optional `--cache-dir` directory that survives restarts. Below the response
 //! cache, per-block `Enumeration`s and canonical codings are cached under their own
 //! content keys, so an `enumerate` followed by a `group` over the same corpus
-//! re-enumerates nothing.
+//! re-enumerates nothing. Beneath all three sits a shared [`ise_canon::CanonMemo`]:
+//! the canonical labeler runs once per distinct raw interface graph over the
+//! daemon's whole lifetime, so even coding-cache misses (new port configurations,
+//! LRU evictions) reuse every previously computed code. The `stats` op reports
+//! the memo's hit/miss/entry counters alongside the cache counters.
 //!
 //! **Determinism.** Cached payloads embed no wall times, thread counts or request
 //! paths (elapsed fields are zeroed, `threads` is pinned to 1, the `corpus` field
@@ -46,7 +50,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use ise_bench::json::Json;
-use ise_canon::{canonicalize_cuts, CodedCut, GroupConfig, PatternIndex};
+use ise_canon::{canonicalize_cuts_memo, CanonMemo, CodedCut, GroupConfig, PatternIndex};
 use ise_corpus::{load_corpus_path, parse_corpus, CorpusBlock};
 use ise_enum::{select_ises, EnumContext, Enumeration, PruningConfig};
 use ise_graph::LatencyModel;
@@ -142,6 +146,11 @@ pub struct ServerState {
     responses: ResponseCache,
     enumerations: LruCache<(Enumeration, usize)>,
     codings: LruCache<Vec<CodedCut>>,
+    /// Raw-encoding → canonical-code memo shared by every coding the daemon
+    /// performs. It sits *beneath* the codings LRU: even when a coding key is
+    /// evicted or a new port configuration misses the LRU, patterns already
+    /// labeled in any earlier request skip the canonical labeler.
+    memo: CanonMemo,
     shutdown: bool,
 }
 
@@ -167,6 +176,7 @@ impl ServerState {
             responses: ResponseCache::new(cap, cache_dir),
             enumerations: LruCache::new(cap),
             codings: LruCache::new(cap),
+            memo: CanonMemo::new(),
             shutdown: false,
         }
     }
@@ -312,7 +322,10 @@ impl ServerState {
                 let group_config = GroupConfig::new(ports_in, ports_out);
                 let index = self.index_with_cache(blocks, &outcomes, &enum_keys, &group_config);
                 let min_count = flags.usize("min-count", 1)?;
-                group::group_json(&index, &outcomes, &meta, min_count).render()
+                // Memo stats are never embedded in the payload: they depend on
+                // request history, and serve payloads must be byte-identical
+                // cold vs. warm. The `stats` op reports them instead.
+                group::group_json(&index, &outcomes, &meta, min_count, None).render()
             }
             "select" if global => {
                 let group_config = GroupConfig::new(ports_in, ports_out);
@@ -397,7 +410,8 @@ impl ServerState {
                 Some(hit) => hit.clone(),
                 None => {
                     let ctx = EnumContext::new(blocks[i].dfg.clone());
-                    let coded = canonicalize_cuts(&ctx, &outcome.enumeration.cuts, config);
+                    let coded =
+                        canonicalize_cuts_memo(&ctx, &outcome.enumeration.cuts, config, &self.memo);
                     self.codings.put(&key, coded.clone());
                     coded
                 }
@@ -440,6 +454,7 @@ impl ServerState {
                 "codings",
                 cache(self.codings.stats(), self.codings.len(), self.codings.cap()),
             ),
+            ("memo", group::memo_stats_json(&self.memo.stats())),
         ]);
         format!(
             "{{\"ok\":true,\"op\":\"stats\",\"result\":{}}}",
@@ -808,6 +823,48 @@ mod tests {
         assert!(
             state.codings.stats().hits > 0,
             "global select reuses group's coding"
+        );
+    }
+
+    #[test]
+    fn canon_memo_persists_across_requests_and_port_configs() {
+        let mut state = ServerState::new(8, None);
+        let _ = state.handle_line(&request("group", INLINE, r#"{"nin":3,"nout":1}"#));
+        let cold = state.memo.stats();
+        assert!(cold.labeler_runs > 0, "cold group must run the labeler");
+        // A different port configuration misses the codings LRU (the key embeds
+        // the ports) but every pattern was already labeled: the memo answers all
+        // of them and the labeler never runs again.
+        let coding_misses = state.codings.stats().misses;
+        let _ = state.handle_line(&request(
+            "group",
+            INLINE,
+            r#"{"nin":3,"nout":1,"ports-in":2}"#,
+        ));
+        assert!(
+            state.codings.stats().misses > coding_misses,
+            "changed ports must miss the codings cache"
+        );
+        let warm = state.memo.stats();
+        assert_eq!(
+            warm.labeler_runs, cold.labeler_runs,
+            "memo must answer every re-coded cut"
+        );
+        assert!(warm.raw_hits > cold.raw_hits);
+        let stats = state.handle_line(r#"{"op":"stats"}"#);
+        let memo = Json::parse(&stats)
+            .unwrap()
+            .get("result")
+            .and_then(|r| r.get("memo"))
+            .cloned()
+            .expect("stats op reports the memo");
+        assert_eq!(
+            memo.get("labeler_runs").and_then(Json::as_u64),
+            Some(warm.labeler_runs)
+        );
+        assert_eq!(
+            memo.get("entries").and_then(Json::as_u64),
+            Some(warm.entries)
         );
     }
 

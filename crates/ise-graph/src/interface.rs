@@ -29,6 +29,29 @@ pub enum InterfaceLabel {
     Op(Operation),
 }
 
+impl InterfaceLabel {
+    /// The stable small-integer key of this label combined with an output flag:
+    /// inputs first, then body operations in the fixed [`Operation::all`] order,
+    /// with the output flag as the low bit.
+    ///
+    /// This is both the initial coloring of the canonical-labeling refinement in
+    /// `ise-canon` and the per-node word of the [raw encoding](InterfaceGraph::raw_encoding)
+    /// — keeping the two in one place guarantees they can never disagree.
+    pub fn stable_key(self, is_output: bool) -> u32 {
+        let label_rank = match self {
+            InterfaceLabel::Input => 0,
+            InterfaceLabel::Op(op) => {
+                1 + Operation::all()
+                    .iter()
+                    .position(|&o| o == op)
+                    .expect("every operation is listed in Operation::all")
+                    as u32
+            }
+        };
+        label_rank * 2 + u32::from(is_output)
+    }
+}
+
 /// The interface-labeled subgraph of a cut: inputs plus body members over local dense
 /// ids, with operand order preserved.
 ///
@@ -184,6 +207,48 @@ impl InterfaceGraph {
         self.original[v]
     }
 
+    /// Appends the stable raw encoding of this graph to `out` (clearing it first).
+    ///
+    /// The encoding is a flat word stream over local ids:
+    ///
+    /// ```text
+    /// [ n, num_inputs,
+    ///   node 0: stable_key, arity, operand locals...,
+    ///   node 1: ...,
+    ///   ... ]
+    /// ```
+    ///
+    /// where `stable_key` is [`InterfaceLabel::stable_key`] (label + output flag).
+    /// Because local ids are themselves derived deterministically from the host
+    /// block (inputs first, each group ascending by original id), two cuts with
+    /// equal raw encodings have *identical* — not merely isomorphic — interface
+    /// graphs. The converse does not hold: isomorphic graphs may encode
+    /// differently, which is exactly the gap canonical codes close. The memo in
+    /// `ise-canon` keys on this encoding so the expensive labeler runs once per
+    /// distinct raw graph.
+    ///
+    /// Taking the buffer by `&mut` lets callers reuse one allocation across
+    /// thousands of cuts.
+    pub fn raw_encoding_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.push(self.len() as u32);
+        out.push(self.num_inputs as u32);
+        for v in 0..self.len() {
+            out.push(self.labels[v].stable_key(self.is_output[v]));
+            out.push(self.operands[v].len() as u32);
+            for &o in &self.operands[v] {
+                out.push(o as u32);
+            }
+        }
+    }
+
+    /// The [raw encoding](Self::raw_encoding_into) as a fresh vector.
+    pub fn raw_encoding(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.raw_encoding_into(&mut out);
+        out
+    }
+
     /// The body operations as a sorted, counted summary string (for example
     /// `add+mul*2`) — a human-readable fingerprint for reports.
     pub fn ops_summary(&self) -> String {
@@ -211,6 +276,104 @@ impl InterfaceGraph {
             i = j;
         }
         parts.join("+")
+    }
+}
+
+/// Reusable scratch state that writes the [raw encoding](InterfaceGraph::raw_encoding_into)
+/// of a cut straight from `(dfg, body)`, without materializing an [`InterfaceGraph`].
+///
+/// On the memo hit path the interface graph itself is never needed — only its raw
+/// encoding, to look up the cached canonical code. Building the graph allocates four
+/// vectors per cut; this encoder instead reuses one local-id table, one member list
+/// and one input set across every cut of a block, and precomputes the block's
+/// externally-visible set once. An encoder is bound to the `Dfg` it was created for.
+///
+/// The output is guaranteed byte-identical to
+/// `InterfaceGraph::extract(dfg, body).raw_encoding()` — both walk members in
+/// ascending id order, derive inputs as out-of-body operand producers, number
+/// locals inputs-first, and flag outputs identically (asserted in tests).
+#[derive(Debug)]
+pub struct RawEncoder {
+    /// Local id of each original node, valid only for ids written during the
+    /// current `encode` call (every id read was just written: operands are either
+    /// members or inputs of the same cut).
+    local: Vec<u32>,
+    members: Vec<NodeId>,
+    input_set: DenseNodeSet,
+    externally_visible: DenseNodeSet,
+}
+
+impl RawEncoder {
+    /// An encoder for cuts of `dfg`.
+    pub fn new(dfg: &Dfg) -> Self {
+        RawEncoder {
+            local: vec![0; dfg.len()],
+            members: Vec::with_capacity(dfg.len()),
+            input_set: dfg.node_set(),
+            externally_visible: DenseNodeSet::from_nodes(
+                dfg.len(),
+                dfg.external_outputs().iter().copied(),
+            ),
+        }
+    }
+
+    /// Writes the raw encoding of the cut whose body is `body` into `out`
+    /// (clearing it first). `dfg` must be the graph this encoder was created for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` has a smaller capacity than the graph (augmented bodies,
+    /// two vertices larger, are accepted — same contract as
+    /// [`InterfaceGraph::extract`]).
+    pub fn encode(&mut self, dfg: &Dfg, body: &DenseNodeSet, out: &mut Vec<u32>) {
+        assert!(
+            body.capacity() >= dfg.len(),
+            "body capacity {} below graph size {}",
+            body.capacity(),
+            dfg.len()
+        );
+        debug_assert_eq!(self.local.len(), dfg.len(), "encoder bound to another dfg");
+        self.members.clear();
+        self.members
+            .extend(dfg.node_ids().filter(|&v| body.contains(v)));
+        self.input_set.clear();
+        for &v in &self.members {
+            for &p in dfg.preds(v) {
+                if !body.contains(p) {
+                    self.input_set.insert(p);
+                }
+            }
+        }
+        let num_inputs = self.input_set.len();
+
+        let mut next = 0u32;
+        for v in self.input_set.iter() {
+            self.local[v.index()] = next;
+            next += 1;
+        }
+        for &v in &self.members {
+            self.local[v.index()] = next;
+            next += 1;
+        }
+
+        out.clear();
+        out.push((num_inputs + self.members.len()) as u32);
+        out.push(num_inputs as u32);
+        let input_key = InterfaceLabel::Input.stable_key(false);
+        for _ in 0..num_inputs {
+            out.push(input_key);
+            out.push(0);
+        }
+        for &v in &self.members {
+            let is_output = self.externally_visible.contains(v)
+                || dfg.succs(v).iter().any(|s| !body.contains(*s));
+            out.push(InterfaceLabel::Op(dfg.op(v)).stable_key(is_output));
+            let preds = dfg.preds(v);
+            out.push(preds.len() as u32);
+            for &p in preds {
+                out.push(self.local[p.index()]);
+            }
+        }
     }
 }
 
@@ -284,6 +447,46 @@ mod tests {
         let body = DenseNodeSet::from_nodes(dfg.len() + 2, [n, x]);
         let g = InterfaceGraph::extract(&dfg, &body);
         assert_eq!(g.num_body(), 2);
+    }
+
+    #[test]
+    fn raw_encoding_reflects_labels_wiring_and_flags() {
+        let (dfg, [_, _, n, x, y, z]) = sample();
+        let body = DenseNodeSet::from_nodes(dfg.len(), [n, x, y, z]);
+        let g = InterfaceGraph::extract(&dfg, &body);
+        let raw = g.raw_encoding();
+        assert_eq!(raw[0], 6, "six local nodes");
+        assert_eq!(raw[1], 2, "two inputs");
+        // Two inputs: key 0, arity 0 each.
+        assert_eq!(&raw[2..6], &[0, 0, 0, 0]);
+        // n = add(a, c): non-output op, operands [0, 1].
+        assert_eq!(raw[6], InterfaceLabel::Op(Operation::Add).stable_key(false));
+        assert_eq!(&raw[7..10], &[2, 0, 1]);
+        // Flipping an output flag changes the encoding.
+        let smaller = DenseNodeSet::from_nodes(dfg.len(), [n, x]);
+        let g2 = InterfaceGraph::extract(&dfg, &smaller);
+        assert_ne!(g.raw_encoding(), g2.raw_encoding());
+        // The reusable buffer form agrees with the fresh-vector form.
+        let mut buf = vec![99; 3];
+        g.raw_encoding_into(&mut buf);
+        assert_eq!(buf, raw);
+    }
+
+    #[test]
+    fn raw_encoder_matches_extract_across_cuts() {
+        let (dfg, [_, _, n, x, y, z]) = sample();
+        let mut enc = RawEncoder::new(&dfg);
+        let mut buf = Vec::new();
+        for body in [
+            DenseNodeSet::from_nodes(dfg.len(), [n, x, y, z]),
+            DenseNodeSet::from_nodes(dfg.len(), [n, x]),
+            DenseNodeSet::from_nodes(dfg.len(), [y]),
+            DenseNodeSet::from_nodes(dfg.len() + 2, [x, z]), // augmented capacity
+        ] {
+            enc.encode(&dfg, &body, &mut buf);
+            let via_graph = InterfaceGraph::extract(&dfg, &body).raw_encoding();
+            assert_eq!(buf, via_graph, "encoder must mirror extract exactly");
+        }
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use csr::CsrAdjacency;
 pub use dot::{CutLike, DotOptions};
 pub use error::GraphError;
 pub use graph::Dfg;
-pub use interface::{InterfaceGraph, InterfaceLabel};
+pub use interface::{InterfaceGraph, InterfaceLabel, RawEncoder};
 pub use node::{Node, NodeId};
 pub use op::{LatencyModel, Operation, OperationClass};
 pub use reach::Reachability;

@@ -4,13 +4,15 @@
 //! default budget with the release binary, see DESIGN.md E8):
 //!
 //! * `ise group` finds patterns recurring in *distinct* blocks;
-//! * grouping output is byte-identical for any thread count (wall times aside);
+//! * grouping output is byte-identical for any thread count (wall times aside),
+//!   with canonicalization memoized or not, and with one shared memo serving
+//!   every thread count in sequence (the ISSUE 7 purity criterion);
 //! * `ise select --global` saves at least as many corpus-wide cycles as the sum of
 //!   the per-block greedy selections under the same constraints.
 
 use std::time::Duration;
 
-use ise_repro::ise_canon::{select_ises_global, GroupConfig};
+use ise_repro::ise_canon::{select_ises_global, CanonMemo, GroupConfig};
 use ise_repro::ise_cli::batch::{run_batch, BatchConfig, SelectionConfig};
 use ise_repro::ise_cli::group::{group_json, group_outcomes};
 use ise_repro::ise_cli::report::RunMeta;
@@ -38,7 +40,7 @@ fn config(threads: usize) -> BatchConfig {
 fn committed_corpus_has_cross_block_recurring_patterns() {
     let blocks = committed_corpus();
     let outcomes = run_batch(&blocks, &config(2));
-    let index = group_outcomes(&blocks, &outcomes, &GroupConfig::default(), 2);
+    let index = group_outcomes(&blocks, &outcomes, &GroupConfig::default(), 2, None);
     let cross_block = index
         .entries()
         .iter()
@@ -61,9 +63,11 @@ fn committed_corpus_has_cross_block_recurring_patterns() {
 }
 
 /// Acceptance: the grouping report is byte-identical for any `--threads` value
-/// once wall times are stripped.
+/// once wall times are stripped — with canonicalization memoized or not, and
+/// with one *shared* memo serving every thread count in sequence (so later
+/// renders run entirely on warm memo hits yet produce the same bytes).
 #[test]
-fn grouping_report_is_thread_count_invariant() {
+fn grouping_report_is_thread_count_and_memo_invariant() {
     let blocks = committed_corpus();
     let meta = |threads| RunMeta {
         corpus: "corpus".into(),
@@ -76,20 +80,31 @@ fn grouping_report_is_thread_count_invariant() {
         select: false,
         elapsed: Duration::ZERO,
     };
-    let render = |threads: usize| {
+    let render = |threads: usize, memo: Option<&CanonMemo>| {
         let outcomes = run_batch(&blocks, &config(threads));
-        let index = group_outcomes(&blocks, &outcomes, &GroupConfig::default(), threads);
-        group_json(&index, &outcomes, &meta(threads), 1).render()
+        let index = group_outcomes(&blocks, &outcomes, &GroupConfig::default(), threads, memo);
+        group_json(&index, &outcomes, &meta(threads), 1, None).render()
     };
-    let one = render(1);
-    let four = render(4);
     let strip = |s: &str| {
         s.split(',')
             .filter(|f| !f.contains("_seconds") && !f.contains("\"threads\""))
             .collect::<Vec<_>>()
             .join(",")
     };
-    assert_eq!(strip(&one), strip(&four));
+    let plain = strip(&render(1, None));
+    assert_eq!(plain, strip(&render(4, None)));
+    let memo = CanonMemo::new();
+    for threads in [1, 2, 4] {
+        assert_eq!(
+            plain,
+            strip(&render(threads, Some(&memo))),
+            "memoized grouping at {threads} threads diverged"
+        );
+    }
+    assert!(
+        memo.stats().raw_hits > 0,
+        "the second and third memoized renders must hit the shared memo"
+    );
 }
 
 /// Acceptance: corpus-level selection must not lose to per-block greedy under the
@@ -113,7 +128,7 @@ fn global_selection_beats_the_per_block_sum_on_the_committed_corpus() {
     assert!(per_block_total > 0, "the corpus has profitable candidates");
 
     let outcomes = run_batch(&blocks, &config(2));
-    let index = group_outcomes(&blocks, &outcomes, &GroupConfig::default(), 2);
+    let index = group_outcomes(&blocks, &outcomes, &GroupConfig::default(), 2, None);
     let views: Vec<&[Cut]> = outcomes
         .iter()
         .map(|o| o.enumeration.cuts.as_slice())

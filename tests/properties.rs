@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 
+use ise_canon::{canonicalize_cuts, canonicalize_cuts_memo, CanonMemo, GroupConfig};
 use ise_dominators::multi::is_generalized_dominator;
 use ise_dominators::{dominators, iterative_dominators, Forward, Reverse};
 use ise_enum::{
@@ -12,6 +13,8 @@ use ise_enum::{
     CutKey, EnumContext, PruningConfig,
 };
 use ise_graph::{DenseNodeSet, Dfg, NodeId, Operation, Reachability, RootedDfg};
+use ise_workloads::expr::compile_block;
+use ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
 use ise_workloads::random_dag::{random_dag, RandomDagConfig};
 use ise_workloads::tree::{TreeDfgBuilder, TreeOrientation};
 
@@ -76,6 +79,56 @@ fn every_pruning_combination_matches_the_oracle() {
             }
         }
     }
+}
+
+/// Satellite of the memoized-canonicalization PR: coding cuts through a shared
+/// [`CanonMemo`] is observably pure. On every workload family the repository
+/// generates — fan-out and fan-in trees, layered random DAGs, MiBench-like
+/// blocks and compiled straight-line snippets — the memoized coding (both the
+/// cold first sweep and the warm second sweep, with the memo shared across all
+/// families) equals the plain labeler's output element for element.
+#[test]
+fn memoized_coding_matches_plain_on_every_workload_family() {
+    let graphs = vec![
+        TreeDfgBuilder::new(3).build(),
+        TreeDfgBuilder::new(3)
+            .with_orientation(TreeOrientation::FanIn)
+            .build(),
+        random_dag(
+            &RandomDagConfig::new(24)
+                .with_live_ins(3)
+                .with_memory_ratio(0.15),
+            7,
+        ),
+        generate_block(&MiBenchLikeConfig::new(24), 3).expect("mibench-like block builds"),
+        compile_block(
+            "sad",
+            "d = a - b; m = d >> 31; abs = (d ^ m) - m; acc2 = acc + abs; out acc2;",
+        )
+        .expect("snippet compiles"),
+    ];
+    let constraints = Constraints::new(4, 2).unwrap();
+    let config = GroupConfig::default();
+    let memo = CanonMemo::new();
+    let mut total_cuts = 0u64;
+    for dfg in graphs {
+        let name = dfg.name().to_string();
+        let ctx = EnumContext::new(dfg);
+        let cuts = incremental_cuts(&ctx, &constraints, &PruningConfig::all()).cuts;
+        total_cuts += cuts.len() as u64;
+        let plain = canonicalize_cuts(&ctx, &cuts, &config);
+        let cold = canonicalize_cuts_memo(&ctx, &cuts, &config, &memo);
+        assert_eq!(plain, cold, "cold memoized coding diverges on `{name}`");
+        let warm = canonicalize_cuts_memo(&ctx, &cuts, &config, &memo);
+        assert_eq!(plain, warm, "warm memoized coding diverges on `{name}`");
+    }
+    let stats = memo.stats();
+    assert!(
+        stats.labeler_runs < total_cuts,
+        "the shared memo must label fewer graphs ({}) than there are cuts ({total_cuts})",
+        stats.labeler_runs,
+    );
+    assert!(stats.raw_hits > 0, "the warm sweeps must hit the memo");
 }
 
 /// Strategy: a small random DAG described as, for each non-root node, a list of
@@ -196,6 +249,23 @@ proptest! {
         for cut in &result.cuts {
             prop_assert!(cut.validate(&ctx, &constraints, true).is_ok());
         }
+    }
+
+    /// Memoized canonical coding is observably pure on arbitrary DAGs: the plain
+    /// labeler, a cold memo and a warm memo produce identical codings.
+    #[test]
+    fn memoized_coding_is_observably_pure(dfg in small_dag_strategy()) {
+        let ctx = EnumContext::new(dfg);
+        let constraints = Constraints::new(3, 2).unwrap();
+        let cuts = incremental_cuts(&ctx, &constraints, &PruningConfig::all()).cuts;
+        let config = GroupConfig::default();
+        let plain = canonicalize_cuts(&ctx, &cuts, &config);
+        let memo = CanonMemo::new();
+        let cold = canonicalize_cuts_memo(&ctx, &cuts, &config, &memo);
+        let warm = canonicalize_cuts_memo(&ctx, &cuts, &config, &memo);
+        prop_assert_eq!(&plain, &cold);
+        prop_assert_eq!(&plain, &warm);
+        prop_assert!(memo.stats().labeler_runs <= cuts.len() as u64);
     }
 
     /// Lengauer–Tarjan and the iterative algorithm agree on dominators and
