@@ -1,6 +1,6 @@
 //! Content-addressed result caching for the `ise serve` daemon.
 //!
-//! Three pieces, all dependency-free (DESIGN.md §7):
+//! Four pieces, all dependency-free (DESIGN.md §7):
 //!
 //! * [`content_hash`] — a stable 128-bit hex digest over a list of byte strings,
 //!   computed with two independent FNV-1a accumulators. Stability matters more than
@@ -14,16 +14,23 @@
 //!   an optional on-disk directory (`--cache-dir`) so a restarted daemon answers
 //!   warm. Disk I/O is strictly best-effort: a read or write failure degrades to a
 //!   miss, never to a request error.
+//! * [`SingleFlight`] — request coalescing for the concurrent daemon: N threads
+//!   missing the cache on the *same* key elect exactly one leader to compute while
+//!   the rest block on the leader's published outcome, so a thundering herd of
+//!   identical cold requests triggers exactly one `run_batch` (DESIGN.md §7.4).
 //!
 //! Cache *keys* are derived from semantic request content only — canonical `.dfg`
 //! bytes ([`ise_corpus::CorpusBlock::canonical_bytes`]) plus the flag tokens of
 //! `ise_enum` ([`ise_enum::Constraints::cache_token`] and friends) — never from
 //! wall-clock time, thread counts or file paths. Cache *values* are fully rendered
 //! deterministic payloads, so a hit is a string lookup and the cold and warm bytes
-//! are identical by construction.
+//! are identical by construction — which is also what makes coalescing sound: a
+//! follower returning the leader's bytes is indistinguishable from recomputing.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Stable 128-bit content hash of `parts`, as 32 lowercase hex characters.
 ///
@@ -214,6 +221,15 @@ impl ResponseCache {
         self.memory.is_empty()
     }
 
+    /// Looks up `key` in memory without touching the hit/miss counters or the
+    /// recency order. The single-flight re-check hook: a flight leader probes
+    /// once more before computing (a racing leader may have filled the cache as
+    /// its flight retired), and that probe must not distort the accounting the
+    /// per-request `get` already did.
+    pub fn peek(&self, key: &str) -> Option<String> {
+        self.memory.map.get(key).cloned()
+    }
+
     /// Looks up `key` in memory, then on disk. A disk hit is promoted into memory.
     pub fn get(&mut self, key: &str) -> Option<String> {
         if let Some(hit) = self.memory.get(key) {
@@ -231,6 +247,145 @@ impl ResponseCache {
         self.memory.put(key, payload.to_string());
         if let Some(dir) = &self.dir {
             let _ = std::fs::write(dir.join(format!("{key}.json")), payload);
+        }
+    }
+}
+
+/// Counters of one [`SingleFlight`], reported by the daemon's `stats` op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Times a caller became the leader of a new flight (one per distinct
+    /// in-flight key — the number of computations that actually ran).
+    pub leaders: u64,
+    /// Times a caller joined an existing flight and waited for its leader's
+    /// outcome instead of computing — the work the coalescing saved.
+    pub coalesced: u64,
+}
+
+/// One in-flight computation: the slot followers block on until the leader
+/// publishes. `outcome` is `None` while the computation runs.
+#[derive(Debug, Default)]
+struct FlightSlot {
+    outcome: Mutex<Option<Result<String, String>>>,
+    ready: Condvar,
+}
+
+/// The caller's role in a flight, returned by [`SingleFlight::join`].
+pub enum Flight<'a> {
+    /// This caller must compute and then [`FlightGuard::publish`] the outcome.
+    Leader(FlightGuard<'a>),
+    /// Another caller was already computing this key; this is its published
+    /// outcome (`Ok(payload)` or `Err(error message)`).
+    Coalesced(Result<String, String>),
+}
+
+/// The leader's obligation token: publishes the outcome to every waiting
+/// follower and retires the flight. Dropping the guard without publishing
+/// (a panic on the compute path) publishes an error so followers never hang.
+pub struct FlightGuard<'a> {
+    flights: &'a SingleFlight,
+    key: String,
+    slot: Arc<FlightSlot>,
+    published: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes the computation's outcome, waking every coalesced follower, and
+    /// removes the flight so later requests for the key start fresh (they will
+    /// hit the response cache the leader filled before publishing).
+    pub fn publish(mut self, outcome: Result<String, String>) {
+        self.resolve(outcome);
+    }
+
+    fn resolve(&mut self, outcome: Result<String, String>) {
+        if self.published {
+            return;
+        }
+        self.published = true;
+        // Retire the flight *before* waking followers: a new request arriving now
+        // starts its own flight (or hits the cache) instead of reading a slot that
+        // is about to be dropped by the last follower.
+        self.flights
+            .flights
+            .lock()
+            .expect("flight map lock")
+            .remove(&self.key);
+        let mut published = self.slot.outcome.lock().expect("flight slot lock");
+        *published = Some(outcome);
+        self.slot.ready.notify_all();
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.resolve(Err("the computation leading this flight failed".to_string()));
+    }
+}
+
+/// Coalesces concurrent computations of the same cache key: the first caller to
+/// [`SingleFlight::join`] a key becomes the **leader** (and must compute, fill the
+/// cache, and [`FlightGuard::publish`]), every concurrent caller for the same key
+/// becomes a **follower** and blocks until the leader publishes. Keys are
+/// content hashes, so two requests share a flight exactly when their stripped
+/// responses would be byte-identical anyway — coalescing is observably pure.
+///
+/// # Example
+///
+/// ```
+/// use ise_cli::cache::{Flight, SingleFlight};
+///
+/// let flights = SingleFlight::default();
+/// let Flight::Leader(guard) = flights.join("key") else {
+///     panic!("first join leads");
+/// };
+/// guard.publish(Ok("payload".to_string()));
+/// assert_eq!(flights.stats().leaders, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    flights: Mutex<HashMap<String, Arc<FlightSlot>>>,
+    leaders: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl SingleFlight {
+    /// Joins the flight for `key`: the first concurrent caller leads (and must
+    /// publish through the returned guard), the rest block here until the leader
+    /// publishes and receive its outcome.
+    pub fn join(&self, key: &str) -> Flight<'_> {
+        let slot = {
+            let mut flights = self.flights.lock().expect("flight map lock");
+            match flights.get(key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    let slot = Arc::new(FlightSlot::default());
+                    flights.insert(key.to_string(), Arc::clone(&slot));
+                    self.leaders.fetch_add(1, Ordering::Relaxed);
+                    return Flight::Leader(FlightGuard {
+                        flights: self,
+                        key: key.to_string(),
+                        slot,
+                        published: false,
+                    });
+                }
+            }
+        };
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        let mut outcome = slot.outcome.lock().expect("flight slot lock");
+        while outcome.is_none() {
+            outcome = slot
+                .ready
+                .wait(outcome)
+                .expect("flight leader never poisons the slot");
+        }
+        Flight::Coalesced(outcome.clone().expect("loop exits only once published"))
+    }
+
+    /// The accounting so far.
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            leaders: self.leaders.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -320,5 +475,78 @@ mod tests {
         cache.put("b", "2");
         assert_eq!(cache.get("a"), None, "evicted, and no disk to recover from");
         assert_eq!(cache.get("b").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_joins() {
+        let flights = Arc::new(SingleFlight::default());
+        let Flight::Leader(guard) = flights.join("k") else {
+            panic!("first join must lead");
+        };
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let flights = Arc::clone(&flights);
+                std::thread::spawn(move || match flights.join("k") {
+                    Flight::Coalesced(outcome) => outcome,
+                    Flight::Leader(_) => panic!("joined while a leader was in flight"),
+                })
+            })
+            .collect();
+        // Wait until every follower is registered on the flight before publishing.
+        while flights.stats().coalesced < 4 {
+            std::thread::yield_now();
+        }
+        guard.publish(Ok("payload".to_string()));
+        for follower in followers {
+            assert_eq!(follower.join().unwrap(), Ok("payload".to_string()));
+        }
+        let stats = flights.stats();
+        assert_eq!(stats.leaders, 1, "one computation for five joins");
+        assert_eq!(stats.coalesced, 4);
+        // The flight retired: the next join leads a fresh computation.
+        assert!(matches!(flights.join("k"), Flight::Leader(_)));
+        assert_eq!(flights.stats().leaders, 2);
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let flights = SingleFlight::default();
+        let Flight::Leader(a) = flights.join("a") else {
+            panic!("a leads");
+        };
+        let Flight::Leader(b) = flights.join("b") else {
+            panic!("b leads too — different key, different flight");
+        };
+        a.publish(Ok("ra".to_string()));
+        b.publish(Err("eb".to_string()));
+        assert_eq!(
+            flights.stats(),
+            FlightStats {
+                leaders: 2,
+                coalesced: 0
+            }
+        );
+    }
+
+    #[test]
+    fn dropped_leader_publishes_an_error_instead_of_hanging_followers() {
+        let flights = Arc::new(SingleFlight::default());
+        let guard = match flights.join("k") {
+            Flight::Leader(guard) => guard,
+            Flight::Coalesced(_) => panic!("first join must lead"),
+        };
+        let follower = {
+            let flights = Arc::clone(&flights);
+            std::thread::spawn(move || match flights.join("k") {
+                Flight::Coalesced(outcome) => outcome,
+                Flight::Leader(_) => panic!("joined while a leader was in flight"),
+            })
+        };
+        while flights.stats().coalesced < 1 {
+            std::thread::yield_now();
+        }
+        drop(guard); // the leader's computation panicked / bailed without publishing
+        let outcome = follower.join().unwrap();
+        assert!(outcome.is_err(), "followers must see an error, not hang");
     }
 }

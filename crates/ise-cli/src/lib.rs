@@ -96,6 +96,7 @@ usage: ise <enumerate|select|group|report> [flags]
                 [--dot BLOCK [--nin 4] [--nout 2] [--budget M]
                  [--max-instr 4] [--out FILE|-]]
   ise serve     [--listen ADDR] [--cache-dir DIR] [--cache-cap 256]
+                [--max-connections 64] [--compute-delay-ms 0]
 
 PATH is a .dfg file or a directory of .dfg files (default: corpus).
 --out/--md write JSON/markdown to FILE, or to stdout when FILE is `-`.
@@ -125,11 +126,18 @@ whole corpus and defaults to 0 = unlimited (select while profitable).
 greedily selected ISEs highlighted.
 `serve` runs a persistent daemon answering line-delimited JSON requests
 ({\"op\":\"enumerate|select|group|stats|shutdown\",\"block\":...,\"flags\":{...}})
-on stdin/stdout or, with --listen ADDR, over TCP. Results are cached by
-a content hash of the canonical block bytes and the semantic flags;
---cache-cap bounds each in-memory cache (0 disables) and --cache-dir
-persists responses across restarts. SIGTERM shuts the daemon down
-gracefully with exit status 0.";
+on stdin/stdout or, with --listen ADDR, over TCP. Each accepted
+connection gets its own thread over one shared cache, bounded by
+--max-connections (default 64); concurrent cold requests for the same
+key coalesce onto a single computation. The listener also answers
+HTTP/1.1: POST /v1/{enumerate,group,select} with the JSON request as
+body (the op comes from the path), GET /v1/stats for the stats op.
+Results are cached by a content hash of the canonical block bytes and
+the semantic flags; --cache-cap bounds each in-memory cache (0
+disables) and --cache-dir persists responses across restarts.
+--compute-delay-ms is a test seam delaying every cold computation.
+SIGTERM shuts the daemon down gracefully: in-flight requests finish,
+then the process exits with status 0.";
 
 /// Error surface of the `ise` binary.
 #[derive(Debug)]

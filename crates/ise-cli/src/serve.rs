@@ -1,19 +1,29 @@
-//! `ise serve`: a persistent enumeration daemon with a content-addressed cache.
+//! `ise serve`: a concurrent enumeration daemon with a content-addressed cache.
 //!
 //! A long-running process accepting **line-delimited JSON** requests — one request
 //! per line, one response line per request — over stdin/stdout or, with
-//! `--listen ADDR`, over TCP. The protocol (DESIGN.md §7):
+//! `--listen ADDR`, over TCP, where each accepted connection is served by its own
+//! thread over one shared [`ServerState`]. The same listener also speaks a minimal
+//! **HTTP/1.1** dialect (the first line of a connection is sniffed: an HTTP method
+//! selects the HTTP shim, anything else is treated as a JSON request line), so
+//! load balancers and plain `curl` can talk to the daemon. The protocol
+//! (DESIGN.md §7):
 //!
 //! ```text
 //! {"op":"enumerate"|"select"|"group", "block": <.dfg text or corpus path>,
 //!  "flags": {"nin":4, "nout":2, "budget":1000000, ...}}
-//! {"op":"stats"}      -> cache hit/miss/eviction counters (never cached)
+//! {"op":"stats"}      -> cache/server counters (never cached)
 //! {"op":"shutdown"}   -> acknowledge and exit the serve loop
+//!
+//! POST /v1/enumerate|/v1/group|/v1/select   (JSON request body, minus "op")
+//! GET  /v1/stats                            -> the stats op
 //! ```
 //!
 //! A successful evaluation answers
 //! `{"ok":true,"op":...,"key":"<hex>","cached":bool,"elapsed_ms":N,"result":{...}}`;
-//! failures answer `{"ok":false,"error":"..."}` and the daemon keeps serving.
+//! failures answer `{"ok":false,"error":"..."}` and the daemon keeps serving. The
+//! HTTP shim returns the identical envelope as the response body (status 200 for
+//! `ok:true`, 400 otherwise).
 //!
 //! **Caching.** Every evaluated request is keyed by a stable content hash
 //! ([`crate::cache::content_hash`]) over semantic inputs only: the canonical `.dfg`
@@ -27,41 +37,67 @@
 //! content keys, so an `enumerate` followed by a `group` over the same corpus
 //! re-enumerates nothing. Beneath all three sits a shared [`ise_canon::CanonMemo`]:
 //! the canonical labeler runs once per distinct raw interface graph over the
-//! daemon's whole lifetime, so even coding-cache misses (new port configurations,
-//! LRU evictions) reuse every previously computed code. The `stats` op reports
-//! the memo's hit/miss/entry counters alongside the cache counters.
+//! daemon's whole lifetime. The `stats` op reports every cache's counters plus the
+//! daemon-level `server` counters (requests, hits, misses, errors, coalesced,
+//! connection errors).
+//!
+//! **Concurrency.** `--listen` accepts up to `--max-connections` concurrent
+//! connections, each on its own thread; all threads share one [`ServerState`]
+//! whose caches live behind mutexes and whose counters are atomics. Concurrent
+//! *cold* requests for the same content key are **coalesced**
+//! ([`crate::cache::SingleFlight`]): one thread computes, every concurrent
+//! duplicate blocks on the published outcome — N clients asking for the same cold
+//! block trigger exactly one `run_batch`. Coalesced responses report
+//! `"cached":true` (they were answered without computing) and are counted by the
+//! `coalesced` counter in the `stats` op. Byte-identity is preserved under any
+//! interleaving because every payload is a pure function of its content key — the
+//! concurrency stress harness (`tests/serve_concurrent.rs` and
+//! `crates/ise-cli/tests/serve_daemon.rs`) replays mixed workloads from many
+//! clients and compares stripped responses against a serial replay.
 //!
 //! **Determinism.** Cached payloads embed no wall times, thread counts or request
 //! paths (elapsed fields are zeroed, `threads` is pinned to 1, the `corpus` field
 //! is the corpus content key) — so a warm response is **byte-identical** to the
 //! cold response it replays, and the volatile facts (`cached`, `elapsed_ms`) live
 //! only in the envelope. CI's serve smoke strips the envelope fields and `cmp`s
-//! cold vs warm bytes.
+//! cold vs warm bytes — and the concurrent replay against a serial one.
 //!
-//! **Shutdown.** SIGTERM and SIGINT set a flag polled by both serve loops (the
-//! handler itself only stores an `AtomicBool`), so an in-flight request finishes,
-//! the loop exits and the process terminates with status 0 — what CI's smoke
-//! asserts after `kill -TERM`.
+//! **Shutdown.** SIGTERM and SIGINT set a flag polled by every serve loop (the
+//! handler itself only stores an `AtomicBool`), as does the `shutdown` op. The
+//! accept loop stops accepting, every connection thread finishes its in-flight
+//! request (responses are written before the flag is re-checked), the threads are
+//! joined and the process exits with status 0 — what CI's smoke asserts after
+//! `kill -TERM` under load.
 
 use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ise_bench::json::Json;
-use ise_canon::{canonicalize_cuts_memo, CanonMemo, CodedCut, GroupConfig, PatternIndex};
+use ise_canon::{
+    canonicalize_cuts_memo, CanonMemo, CodedCut, GroupConfig, MemoStats, PatternIndex,
+};
 use ise_corpus::{load_corpus_path, parse_corpus, CorpusBlock};
 use ise_enum::{select_ises, EnumContext, Enumeration, PruningConfig};
 use ise_graph::LatencyModel;
 
 use crate::batch::{run_batch, BatchConfig, BlockOutcome, SelectionConfig};
-use crate::cache::{content_hash, CacheStats, LruCache, ResponseCache};
+use crate::cache::{
+    content_hash, CacheStats, Flight, FlightStats, LruCache, ResponseCache, SingleFlight,
+};
 use crate::report::batch_json;
 use crate::{group, parse_common, CliError, CommonBatchArgs, Flags};
 
 /// Default bound, in entries, of each of the daemon's caches (`--cache-cap`).
 pub const DEFAULT_CACHE_CAP: usize = 256;
+
+/// Default bound on concurrent TCP connections (`--max-connections`). Beyond it
+/// the accept loop simply stops accepting until a connection finishes — pending
+/// clients queue in the kernel backlog instead of being refused.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
 
 /// Signal handling for graceful shutdown: SIGTERM/SIGINT set a flag the serve
 /// loops poll. The single `unsafe` block of the workspace lives here — one audited
@@ -103,7 +139,13 @@ mod sig {
     }
 }
 
-const SERVE_FLAGS: &[&str] = &["listen", "cache-dir", "cache-cap"];
+const SERVE_FLAGS: &[&str] = &[
+    "listen",
+    "cache-dir",
+    "cache-cap",
+    "max-connections",
+    "compute-delay-ms",
+];
 
 /// Flags a request may carry, per op (the batch CLI's flags minus `corpus`, which
 /// the `block` field replaces, and the output-file flags, which a protocol response
@@ -131,32 +173,84 @@ pub fn run_serve_command(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, SERVE_FLAGS)?;
     let cap = flags.usize("cache-cap", DEFAULT_CACHE_CAP)?;
     let dir = flags.get("cache-dir").map(PathBuf::from);
+    let max_connections = flags.usize("max-connections", DEFAULT_MAX_CONNECTIONS)?;
+    if max_connections == 0 {
+        return Err(CliError::Usage(
+            "`--max-connections` must be at least 1".to_string(),
+        ));
+    }
     let mut state = ServerState::new(cap, dir);
+    // Test seam (used by the concurrency harness and CI's shutdown-under-load
+    // smoke): an artificial delay on every cold computation, so "mid-request"
+    // and "concurrent cold duplicates" are reproducible states.
+    let delay_ms = flags.usize("compute-delay-ms", 0)?;
+    if delay_ms > 0 {
+        state = state.with_compute_delay(Duration::from_millis(delay_ms as u64));
+    }
     sig::install();
     match flags.get("listen") {
-        Some(addr) => serve_tcp(&mut state, addr),
-        None => serve_stdin(&mut state),
+        Some(addr) => serve_tcp(&Arc::new(state), addr, max_connections),
+        None => serve_stdin(&state),
     }
 }
 
-/// One daemon's caches and shutdown latch. [`ServerState::handle_line`] is the
-/// whole protocol — the serve loops only move lines in and out — so tests drive
-/// the daemon in-process without sockets.
+/// Daemon-level request accounting, reported as the `server` object of the
+/// `stats` op. Every protocol line that evaluates (or fails) counts exactly one
+/// of `hits` (answered without computing: response cache or a coalesced flight),
+/// `misses` (this request ran the computation) or `errors` (`ok:false`), so
+/// `hits + misses + errors == requests` is an invariant the concurrency stress
+/// harness asserts. `stats` and `shutdown` lines are control traffic and are
+/// deliberately not counted.
+#[derive(Debug, Default)]
+struct ServeCounters {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    errors: AtomicU64,
+    connection_errors: AtomicU64,
+}
+
+impl ServeCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One daemon's shared state: caches, single-flight table, counters and the
+/// shutdown latch. Every cache lives behind its own mutex and every counter is
+/// atomic, so [`ServerState::handle_line`] takes `&self` and one state serves
+/// any number of connection threads ([`ServerState`] is `Sync`). The serve loops
+/// only move lines in and out — so tests drive the daemon in-process without
+/// sockets, or concurrently over `Arc<ServerState>`.
 pub struct ServerState {
-    responses: ResponseCache,
-    enumerations: LruCache<(Enumeration, usize)>,
-    codings: LruCache<Vec<CodedCut>>,
+    responses: Mutex<ResponseCache>,
+    enumerations: Mutex<LruCache<(Enumeration, usize)>>,
+    codings: Mutex<LruCache<Vec<CodedCut>>>,
     /// Raw-encoding → canonical-code memo shared by every coding the daemon
     /// performs. It sits *beneath* the codings LRU: even when a coding key is
     /// evicted or a new port configuration misses the LRU, patterns already
-    /// labeled in any earlier request skip the canonical labeler.
+    /// labeled in any earlier request skip the canonical labeler. Already
+    /// lock-striped internally — no outer mutex needed.
     memo: CanonMemo,
-    shutdown: bool,
+    /// Coalesces concurrent cold computations of one response key: N clients
+    /// asking for the same cold block trigger exactly one `run_batch`.
+    flights: SingleFlight,
+    counters: ServeCounters,
+    /// Test seam: sleep this long at the start of every cold computation.
+    compute_delay: Option<Duration>,
+    shutdown: AtomicBool,
 }
 
+// `ServerState` is shared by reference across connection threads; keep the
+// compiler proving that is sound as fields evolve.
+const _: fn() = || {
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<ServerState>();
+};
+
 enum Reply {
-    /// An evaluated (possibly cached) request: the deterministic payload plus the
-    /// envelope facts.
+    /// An evaluated (possibly cached or coalesced) request: the deterministic
+    /// payload plus the envelope facts.
     Evaluated {
         op: &'static str,
         key: String,
@@ -173,23 +267,65 @@ impl ServerState {
     /// response payloads across restarts.
     pub fn new(cap: usize, cache_dir: Option<PathBuf>) -> Self {
         ServerState {
-            responses: ResponseCache::new(cap, cache_dir),
-            enumerations: LruCache::new(cap),
-            codings: LruCache::new(cap),
+            responses: Mutex::new(ResponseCache::new(cap, cache_dir)),
+            enumerations: Mutex::new(LruCache::new(cap)),
+            codings: Mutex::new(LruCache::new(cap)),
             memo: CanonMemo::new(),
-            shutdown: false,
+            flights: SingleFlight::default(),
+            counters: ServeCounters::default(),
+            compute_delay: None,
+            shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// Test seam: sleep `delay` at the start of every cold computation, so
+    /// concurrency tests can hold a request "mid-flight" deterministically
+    /// (the same role `CanonMemo::with_fingerprinter` plays for the memo).
+    /// Exposed to the binary as the `--compute-delay-ms` flag.
+    #[must_use]
+    pub fn with_compute_delay(mut self, delay: Duration) -> Self {
+        self.compute_delay = Some(delay);
+        self
     }
 
     /// Whether a `shutdown` request has been acknowledged.
     pub fn shutdown_requested(&self) -> bool {
-        self.shutdown
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The response cache's counters (test observability).
+    pub fn response_stats(&self) -> CacheStats {
+        self.responses.lock().expect("response cache lock").stats()
+    }
+
+    /// The per-block enumeration cache's counters (test observability).
+    pub fn enumeration_stats(&self) -> CacheStats {
+        self.enumerations
+            .lock()
+            .expect("enumeration cache lock")
+            .stats()
+    }
+
+    /// The per-block coding cache's counters (test observability).
+    pub fn coding_stats(&self) -> CacheStats {
+        self.codings.lock().expect("coding cache lock").stats()
+    }
+
+    /// The canonicalization memo's counters (test observability).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats()
+    }
+
+    /// The single-flight counters (test observability).
+    pub fn flight_stats(&self) -> FlightStats {
+        self.flights.stats()
     }
 
     /// Handles one protocol line and returns the response line (without the
     /// trailing newline). Never panics on malformed input — every failure becomes
-    /// an `{"ok":false,...}` response.
-    pub fn handle_line(&mut self, line: &str) -> String {
+    /// an `{"ok":false,...}` response. Safe to call from many threads at once;
+    /// concurrent duplicate cold requests coalesce onto one computation.
+    pub fn handle_line(&self, line: &str) -> String {
         let started = Instant::now();
         match self.dispatch(line) {
             Ok(Reply::Evaluated {
@@ -197,20 +333,41 @@ impl ServerState {
                 key,
                 cached,
                 payload,
-            }) => format!(
-                "{{\"ok\":true,\"op\":\"{op}\",\"key\":\"{key}\",\"cached\":{cached},\
-                 \"elapsed_ms\":{},\"result\":{payload}}}",
-                started.elapsed().as_millis(),
-            ),
+            }) => {
+                ServeCounters::bump(&self.counters.requests);
+                ServeCounters::bump(if cached {
+                    &self.counters.hits
+                } else {
+                    &self.counters.misses
+                });
+                format!(
+                    "{{\"ok\":true,\"op\":\"{op}\",\"key\":\"{key}\",\"cached\":{cached},\
+                     \"elapsed_ms\":{},\"result\":{payload}}}",
+                    started.elapsed().as_millis(),
+                )
+            }
             Ok(Reply::Bare(text)) => text,
-            Err(error) => format!(
-                "{{\"ok\":false,\"error\":{}}}",
-                Json::str(error.to_string()).render()
-            ),
+            Err(error) => self.error_response(&error.to_string()),
         }
     }
 
-    fn dispatch(&mut self, line: &str) -> Result<Reply, CliError> {
+    /// Renders (and counts) one in-band error response. Also used by the HTTP
+    /// shim for routing failures, so the `server` counters stay consistent for
+    /// any transport.
+    fn error_response(&self, message: &str) -> String {
+        ServeCounters::bump(&self.counters.requests);
+        ServeCounters::bump(&self.counters.errors);
+        format!("{{\"ok\":false,\"error\":{}}}", Json::str(message).render())
+    }
+
+    /// Logs a connection-level I/O failure and bumps the `connection_errors`
+    /// counter — a dropped connection must be observable, never silent.
+    fn note_connection_error(&self, peer: &str, error: &io::Error) {
+        ServeCounters::bump(&self.counters.connection_errors);
+        eprintln!("ise serve: connection {peer}: {error}");
+    }
+
+    fn dispatch(&self, line: &str) -> Result<Reply, CliError> {
         let request =
             Json::parse(line).map_err(|e| CliError::Usage(format!("request is not JSON: {e}")))?;
         let op = request
@@ -223,7 +380,7 @@ impl ServerState {
             "group" => self.evaluate("group", &request),
             "stats" => Ok(Reply::Bare(self.stats_response())),
             "shutdown" => {
-                self.shutdown = true;
+                self.shutdown.store(true, Ordering::SeqCst);
                 Ok(Reply::Bare("{\"ok\":true,\"op\":\"shutdown\"}".to_string()))
             }
             other => Err(CliError::Usage(format!(
@@ -233,8 +390,8 @@ impl ServerState {
     }
 
     /// The shared evaluate path: resolve blocks, derive the content key, answer
-    /// from the response cache or compute-and-fill.
-    fn evaluate(&mut self, op: &'static str, request: &Json) -> Result<Reply, CliError> {
+    /// from the response cache, a coalesced flight, or compute-and-fill.
+    fn evaluate(&self, op: &'static str, request: &Json) -> Result<Reply, CliError> {
         let block_field = request
             .get("block")
             .and_then(Json::as_str)
@@ -265,7 +422,12 @@ impl ServerState {
         parts.push(&op_token);
         let key = content_hash(&parts);
 
-        if let Some(payload) = self.responses.get(&key) {
+        if let Some(payload) = self
+            .responses
+            .lock()
+            .expect("response cache lock")
+            .get(&key)
+        {
             return Ok(Reply::Evaluated {
                 op,
                 key,
@@ -273,18 +435,62 @@ impl ServerState {
                 payload,
             });
         }
-        let payload = self.compute(op, &blocks, &canonical, &common, &flags, &engine_token)?;
-        self.responses.put(&key, &payload);
-        Ok(Reply::Evaluated {
-            op,
-            key,
-            cached: false,
-            payload,
-        })
+        match self.flights.join(&key) {
+            // Another thread computed this key while we waited: its published
+            // payload is byte-identical to what we would compute, so answer it
+            // as a cache hit — the computation never ran for this request.
+            Flight::Coalesced(Ok(payload)) => Ok(Reply::Evaluated {
+                op,
+                key,
+                cached: true,
+                payload,
+            }),
+            Flight::Coalesced(Err(message)) => Err(CliError::Usage(message)),
+            Flight::Leader(lead) => {
+                // Between our cache miss and winning the flight, a previous
+                // leader may have finished: re-check (without re-counting — the
+                // miss above already counted this request) before computing.
+                if let Some(payload) = self
+                    .responses
+                    .lock()
+                    .expect("response cache lock")
+                    .peek(&key)
+                {
+                    lead.publish(Ok(payload.clone()));
+                    return Ok(Reply::Evaluated {
+                        op,
+                        key,
+                        cached: true,
+                        payload,
+                    });
+                }
+                let payload =
+                    match self.compute(op, &blocks, &canonical, &common, &flags, &engine_token) {
+                        Ok(payload) => payload,
+                        Err(error) => {
+                            lead.publish(Err(error.to_string()));
+                            return Err(error);
+                        }
+                    };
+                // Fill the cache *before* publishing, so a request arriving as
+                // the flight retires finds the payload where it looks first.
+                self.responses
+                    .lock()
+                    .expect("response cache lock")
+                    .put(&key, &payload);
+                lead.publish(Ok(payload.clone()));
+                Ok(Reply::Evaluated {
+                    op,
+                    key,
+                    cached: false,
+                    payload,
+                })
+            }
+        }
     }
 
     fn compute(
-        &mut self,
+        &self,
         op: &str,
         blocks: &[CorpusBlock],
         canonical: &[String],
@@ -292,6 +498,9 @@ impl ServerState {
         flags: &Flags,
         engine_token: &str,
     ) -> Result<String, CliError> {
+        if let Some(delay) = self.compute_delay {
+            std::thread::sleep(delay);
+        }
         let select = op == "select";
         let global = flags.bool("global", false)?;
         let ports_in = flags.usize("ports-in", common.nin)?;
@@ -349,9 +558,13 @@ impl ServerState {
     /// Per-block enumeration through the content-addressed cache: cached blocks
     /// are reconstructed, missed blocks run through the real batch scheduler (the
     /// per-block result of [`run_batch`] is a function of the block and the config
-    /// alone, so a partial batch reproduces the full batch's rows exactly).
+    /// alone, so a partial batch reproduces the full batch's rows exactly). The
+    /// cache lock is held per lookup/insert, never across `run_batch` — two
+    /// threads may race to compute the same block, in which case both compute the
+    /// identical value and the second insert overwrites with the same bytes
+    /// (response-level single-flight makes this race rare in practice).
     fn outcomes_with_cache(
-        &mut self,
+        &self,
         blocks: &[CorpusBlock],
         canonical: &[String],
         config: &BatchConfig,
@@ -365,7 +578,13 @@ impl ServerState {
         slots.resize_with(blocks.len(), || None);
         let mut missed: Vec<usize> = Vec::new();
         for (i, block) in blocks.iter().enumerate() {
-            if let Some((enumeration, tasks)) = self.enumerations.get(&keys[i]).cloned() {
+            let cached = self
+                .enumerations
+                .lock()
+                .expect("enumeration cache lock")
+                .get(&keys[i])
+                .cloned();
+            if let Some((enumeration, tasks)) = cached {
                 slots[i] = Some(rebuild_outcome(i, block, enumeration, tasks, config));
             } else {
                 missed.push(i);
@@ -376,6 +595,8 @@ impl ServerState {
             let fresh = run_batch(&misses, config);
             for (&i, mut outcome) in missed.iter().zip(fresh) {
                 self.enumerations
+                    .lock()
+                    .expect("enumeration cache lock")
                     .put(&keys[i], (outcome.enumeration.clone(), outcome.tasks));
                 outcome.index = i;
                 outcome.elapsed = Duration::ZERO;
@@ -391,9 +612,10 @@ impl ServerState {
 
     /// Builds the pattern index over the outcomes through the per-block coding
     /// cache, merging strictly in corpus order (the [`PatternIndex`] determinism
-    /// contract).
+    /// contract). Like the enumeration cache, the coding cache lock is never held
+    /// across the coding itself.
     fn index_with_cache(
-        &mut self,
+        &self,
         blocks: &[CorpusBlock],
         outcomes: &[BlockOutcome],
         enum_keys: &[String],
@@ -406,13 +628,22 @@ impl ServerState {
                 config.ports_in, config.ports_out
             );
             let key = content_hash(&[&enum_keys[i], &ports]);
-            let coded = match self.codings.get(&key) {
-                Some(hit) => hit.clone(),
+            let cached = self
+                .codings
+                .lock()
+                .expect("coding cache lock")
+                .get(&key)
+                .cloned();
+            let coded = match cached {
+                Some(hit) => hit,
                 None => {
                     let ctx = EnumContext::new(blocks[i].dfg.clone());
                     let coded =
                         canonicalize_cuts_memo(&ctx, &outcome.enumeration.cuts, config, &self.memo);
-                    self.codings.put(&key, coded.clone());
+                    self.codings
+                        .lock()
+                        .expect("coding cache lock")
+                        .put(&key, coded.clone());
                     coded
                 }
             };
@@ -433,27 +664,53 @@ impl ServerState {
                 ("cap", Json::uint(cap)),
             ])
         };
+        let (response_stats, response_len, response_cap) = {
+            let responses = self.responses.lock().expect("response cache lock");
+            (responses.stats(), responses.len(), responses.cap())
+        };
+        let (enum_stats, enum_len, enum_cap) = {
+            let enumerations = self.enumerations.lock().expect("enumeration cache lock");
+            (enumerations.stats(), enumerations.len(), enumerations.cap())
+        };
+        let (coding_stats, coding_len, coding_cap) = {
+            let codings = self.codings.lock().expect("coding cache lock");
+            (codings.stats(), codings.len(), codings.cap())
+        };
+        let flights = self.flights.stats();
         let result = Json::object([
             (
+                "server",
+                Json::object([
+                    (
+                        "requests",
+                        Json::UInt(self.counters.requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "hits",
+                        Json::UInt(self.counters.hits.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "misses",
+                        Json::UInt(self.counters.misses.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "errors",
+                        Json::UInt(self.counters.errors.load(Ordering::Relaxed)),
+                    ),
+                    ("coalesced", Json::UInt(flights.coalesced)),
+                    ("flights_led", Json::UInt(flights.leaders)),
+                    (
+                        "connection_errors",
+                        Json::UInt(self.counters.connection_errors.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
                 "responses",
-                cache(
-                    self.responses.stats(),
-                    self.responses.len(),
-                    self.responses.cap(),
-                ),
+                cache(response_stats, response_len, response_cap),
             ),
-            (
-                "enumerations",
-                cache(
-                    self.enumerations.stats(),
-                    self.enumerations.len(),
-                    self.enumerations.cap(),
-                ),
-            ),
-            (
-                "codings",
-                cache(self.codings.stats(), self.codings.len(), self.codings.cap()),
-            ),
+            ("enumerations", cache(enum_stats, enum_len, enum_cap)),
+            ("codings", cache(coding_stats, coding_len, coding_cap)),
             ("memo", group::memo_stats_json(&self.memo.stats())),
         ]);
         format!(
@@ -592,7 +849,7 @@ fn resolve_blocks(block: &str) -> Result<Vec<CorpusBlock>, CliError> {
 /// The stdin/stdout serve loop: a reader thread feeds a channel so the main loop
 /// can poll the shutdown flag every 100ms even while no request arrives. EOF on
 /// stdin ends the loop (the channel disconnects).
-fn serve_stdin(state: &mut ServerState) -> Result<(), CliError> {
+fn serve_stdin(state: &ServerState) -> Result<(), CliError> {
     let (sender, receiver) = mpsc::channel::<String>();
     std::thread::spawn(move || {
         let stdin = io::stdin();
@@ -632,10 +889,15 @@ fn serve_stdin(state: &mut ServerState) -> Result<(), CliError> {
 }
 
 /// The TCP serve loop: a non-blocking accept loop (so SIGTERM is noticed within
-/// ~50ms even while idle) serving one connection at a time — the daemon is a
-/// per-corpus cache, not a concurrent job server. The bound address is announced
-/// on stdout so callers binding port 0 learn the port.
-fn serve_tcp(state: &mut ServerState, addr: &str) -> Result<(), CliError> {
+/// ~50ms even while idle) handing each accepted connection to its own thread
+/// over the shared state, up to `max_connections` at once — beyond the bound the
+/// loop pauses accepting and pending clients wait in the kernel backlog. On
+/// SIGTERM or a `shutdown` op the loop stops accepting and **drains**: every
+/// connection thread finishes its in-flight request (its response is written
+/// before the thread re-checks the flag) and is joined before the daemon exits 0.
+/// The bound address is announced on stdout so callers binding port 0 learn the
+/// port.
+fn serve_tcp(state: &Arc<ServerState>, addr: &str, max_connections: usize) -> Result<(), CliError> {
     let listener = TcpListener::bind(addr).map_err(|source| CliError::Io {
         path: addr.to_string(),
         source,
@@ -650,14 +912,22 @@ fn serve_tcp(state: &mut ServerState, addr: &str) -> Result<(), CliError> {
         println!("listening on {local}");
         let _ = io::stdout().flush();
     }
-    loop {
-        if sig::terminated() || state.shutdown_requested() {
-            return Ok(());
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !(sig::terminated() || state.shutdown_requested()) {
+        workers.retain(|worker| !worker.is_finished());
+        if workers.len() >= max_connections {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
         }
         match listener.accept() {
-            Ok((stream, _)) => {
-                // Connection-level I/O errors drop the connection, not the daemon.
-                let _ = serve_connection(state, stream);
+            Ok((stream, peer)) => {
+                let state = Arc::clone(state);
+                workers.push(std::thread::spawn(move || {
+                    let peer = peer.to_string();
+                    if let Err(error) = serve_connection(&state, stream) {
+                        state.note_connection_error(&peer, &error);
+                    }
+                }));
             }
             Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(50));
@@ -665,38 +935,271 @@ fn serve_tcp(state: &mut ServerState, addr: &str) -> Result<(), CliError> {
             Err(_) => std::thread::sleep(Duration::from_millis(50)),
         }
     }
+    // Graceful drain: connection threads notice the flag at their next poll and
+    // return once their in-flight response is written.
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
 }
 
-/// Serves one TCP connection line by line. Reads poll with a 100ms timeout so a
-/// SIGTERM during an idle connection still shuts the daemon down promptly; a
-/// partial line survives the poll (it stays in `line` across timeouts).
-fn serve_connection(state: &mut ServerState, mut stream: TcpStream) -> io::Result<()> {
+/// Serves one TCP connection, sniffing the transport from its first line: an
+/// HTTP method selects the HTTP/1.1 shim, anything else (in practice a `{`) is
+/// line-delimited JSON. Reads poll with a 100ms timeout so a SIGTERM during an
+/// idle connection still shuts the daemon down promptly.
+fn serve_connection(state: &ServerState, mut stream: TcpStream) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    // Each response is one small write the client latency-chains on; Nagle
+    // would hold it for the previous segment's (possibly delayed) ACK.
+    let _ = stream.set_nodelay(true);
     let mut reader = io::BufReader::new(stream.try_clone()?);
-    let mut line = String::new();
+    let mut first = String::new();
+    if read_line_polled(state, &mut reader, &mut first)? == 0 {
+        return Ok(());
+    }
+    if is_http_request_line(&first) {
+        serve_http(state, &mut stream, &mut reader, first)
+    } else {
+        serve_json(state, &mut stream, &mut reader, first)
+    }
+}
+
+/// Whether a connection's first line looks like an HTTP request line.
+fn is_http_request_line(line: &str) -> bool {
+    ["POST ", "GET ", "HEAD ", "PUT ", "DELETE ", "OPTIONS "]
+        .iter()
+        .any(|method| line.starts_with(method))
+}
+
+/// Reads one line, polling through read timeouts so shutdown flags are honoured
+/// while blocked on a quiet peer. Returns `Ok(0)` on a clean end (EOF between
+/// lines, or shutdown while idle); a peer that disconnects **mid-line** is an
+/// error — the caller surfaces it as a connection error rather than silently
+/// dropping the partial request.
+fn read_line_polled(
+    state: &ServerState,
+    reader: &mut impl BufRead,
+    line: &mut String,
+) -> io::Result<usize> {
     loop {
-        if sig::terminated() {
-            return Ok(());
-        }
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()),
-            Ok(_) => {
-                if !line.trim().is_empty() {
-                    let response = state.handle_line(line.trim_end());
-                    writeln!(stream, "{response}")?;
-                    stream.flush()?;
-                    if state.shutdown_requested() {
-                        return Ok(());
-                    }
+        match reader.read_line(line) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(0);
                 }
-                line.clear();
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("connection closed mid-line after {} bytes", line.len()),
+                ));
+            }
+            Ok(_) => {
+                if line.ends_with('\n') {
+                    return Ok(line.len());
+                }
+                // EOF with a partial line: the next read returns Ok(0) with a
+                // non-empty buffer and reports the mid-line disconnect above.
             }
             Err(error)
                 if error.kind() == io::ErrorKind::WouldBlock
-                    || error.kind() == io::ErrorKind::TimedOut => {}
+                    || error.kind() == io::ErrorKind::TimedOut =>
+            {
+                if sig::terminated() || state.shutdown_requested() {
+                    return Ok(0);
+                }
+            }
             Err(error) => return Err(error),
         }
     }
+}
+
+/// Reads exactly `buf.len()` bytes, polling through read timeouts like
+/// [`read_line_polled`]. An EOF before the buffer fills is a mid-request
+/// disconnect and reported as an error.
+fn read_exact_polled(
+    state: &ServerState,
+    reader: &mut impl BufRead,
+    buf: &mut [u8],
+) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "connection closed mid-body after {filled} of {} bytes",
+                        buf.len()
+                    ),
+                ));
+            }
+            Ok(read) => filled += read,
+            Err(error)
+                if error.kind() == io::ErrorKind::WouldBlock
+                    || error.kind() == io::ErrorKind::TimedOut =>
+            {
+                if sig::terminated() || state.shutdown_requested() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "shutdown while reading a request body",
+                    ));
+                }
+            }
+            Err(error) => return Err(error),
+        }
+    }
+    Ok(())
+}
+
+/// The line-delimited JSON loop: one request per line, one response line per
+/// request. `line` already holds the connection's first request line.
+fn serve_json(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    reader: &mut impl BufRead,
+    mut line: String,
+) -> io::Result<()> {
+    loop {
+        if !line.trim().is_empty() {
+            let mut response = state.handle_line(line.trim_end());
+            response.push('\n');
+            // One write per response: a formatted write would emit the payload
+            // and the newline as separate segments.
+            stream.write_all(response.as_bytes())?;
+            stream.flush()?;
+            if state.shutdown_requested() {
+                return Ok(());
+            }
+        }
+        if sig::terminated() {
+            return Ok(());
+        }
+        line.clear();
+        if read_line_polled(state, reader, &mut line)? == 0 {
+            return Ok(());
+        }
+    }
+}
+
+/// The HTTP/1.1 shim: a hand-rolled keep-alive loop mapping
+/// `POST /v1/{enumerate,group,select}` (JSON request body, the `op` implied by
+/// the path) and `GET /v1/stats` onto the same handlers as the JSON protocol —
+/// the response body is the identical envelope. No chunked encoding, no TLS, no
+/// dependencies: request bodies are delimited by `Content-Length`, responses
+/// always carry one.
+fn serve_http(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    reader: &mut impl BufRead,
+    mut request_line: String,
+) -> io::Result<()> {
+    loop {
+        let (method, path) = {
+            let mut parts = request_line.split_whitespace();
+            (
+                parts.next().unwrap_or("").to_string(),
+                parts.next().unwrap_or("").to_string(),
+            )
+        };
+        // Headers: only Content-Length (body delimiter) and Connection: close
+        // (keep-alive override) matter; everything else is skipped.
+        let mut content_length = 0usize;
+        let mut close = false;
+        let mut header = String::new();
+        loop {
+            header.clear();
+            if read_line_polled(state, reader, &mut header)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside HTTP headers",
+                ));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("bad Content-Length `{value}`"),
+                        )
+                    })?;
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value.eq_ignore_ascii_case("close");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        read_exact_polled(state, reader, &mut body)?;
+        let body = String::from_utf8_lossy(&body).into_owned();
+
+        let (status, payload) = http_reply(state, &method, &path, &body);
+        let response = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: {}\r\n\r\n{payload}",
+            payload.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        stream.write_all(response.as_bytes())?;
+        stream.flush()?;
+        if close || state.shutdown_requested() || sig::terminated() {
+            return Ok(());
+        }
+        request_line.clear();
+        if read_line_polled(state, reader, &mut request_line)? == 0 {
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one HTTP request to the protocol handlers and picks the status line.
+/// Routing failures are answered with the same in-band `{"ok":false,...}` body
+/// the JSON protocol uses (and counted by the same `server` counters).
+fn http_reply(state: &ServerState, method: &str, path: &str, body: &str) -> (&'static str, String) {
+    match (method, path) {
+        ("GET", "/v1/stats") => ("200 OK", state.stats_response()),
+        ("POST", "/v1/enumerate" | "/v1/group" | "/v1/select") => {
+            let op = path.rsplit('/').next().expect("path has segments");
+            match http_request_line(op, body) {
+                Ok(line) => {
+                    let response = state.handle_line(&line);
+                    let status = if response.starts_with("{\"ok\":true") {
+                        "200 OK"
+                    } else {
+                        "400 Bad Request"
+                    };
+                    (status, response)
+                }
+                Err(message) => ("400 Bad Request", state.error_response(&message)),
+            }
+        }
+        ("POST" | "GET", _) => (
+            "404 Not Found",
+            state.error_response(&format!(
+                "unknown path `{path}` (POST /v1/{{enumerate,group,select}}, GET /v1/stats)"
+            )),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            state.error_response(&format!("method `{method}` is not supported")),
+        ),
+    }
+}
+
+/// Builds the JSON-protocol request line for an HTTP body: the body's object with
+/// the path-implied `op` prepended (a conflicting `op` in the body is replaced —
+/// the path is authoritative).
+fn http_request_line(op: &str, body: &str) -> Result<String, String> {
+    let body = if body.trim().is_empty() { "{}" } else { body };
+    let doc = Json::parse(body).map_err(|e| format!("request body is not JSON: {e}"))?;
+    let Json::Object(mut pairs) = doc else {
+        return Err("request body must be a JSON object".to_string());
+    };
+    pairs.retain(|(key, _)| key != "op");
+    pairs.insert(0, ("op".to_string(), Json::str(op)));
+    Ok(Json::Object(pairs).render())
 }
 
 #[cfg(test)]
@@ -729,7 +1232,7 @@ mod tests {
 
     #[test]
     fn enumerate_cold_then_warm_is_byte_identical() {
-        let mut state = ServerState::new(8, None);
+        let state = ServerState::new(8, None);
         let req = request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#);
         let cold = state.handle_line(&req);
         let warm = state.handle_line(&req);
@@ -750,12 +1253,12 @@ mod tests {
 
     #[test]
     fn formatting_only_variants_share_a_key_and_flag_changes_miss() {
-        let mut state = ServerState::new(8, None);
+        let state = ServerState::new(8, None);
         let noisy = format!(
             "# comment\n\n{}",
             INLINE.replace("node 3 mul", "node 3   mul")
         );
-        let key_of = |state: &mut ServerState, block: &str, flags: &str| {
+        let key_of = |state: &ServerState, block: &str, flags: &str| {
             let response = state.handle_line(&request("enumerate", block, flags));
             Json::parse(&response)
                 .unwrap()
@@ -764,22 +1267,22 @@ mod tests {
                 .unwrap()
                 .to_string()
         };
-        let base = key_of(&mut state, INLINE, r#"{"nin":3,"nout":1}"#);
+        let base = key_of(&state, INLINE, r#"{"nin":3,"nout":1}"#);
         assert_eq!(
             base,
-            key_of(&mut state, &noisy, r#"{"nin":3,"nout":1}"#),
+            key_of(&state, &noisy, r#"{"nin":3,"nout":1}"#),
             "comments and spacing must not change the cache key"
         );
-        assert_ne!(base, key_of(&mut state, INLINE, r#"{"nin":2,"nout":1}"#));
+        assert_ne!(base, key_of(&state, INLINE, r#"{"nin":2,"nout":1}"#));
         assert_ne!(
             base,
-            key_of(&mut state, INLINE, r#"{"nin":3,"nout":1,"budget":7}"#)
+            key_of(&state, INLINE, r#"{"nin":3,"nout":1,"budget":7}"#)
         );
     }
 
     #[test]
     fn threads_flag_does_not_change_key_or_payload() {
-        let mut state = ServerState::new(8, None);
+        let state = ServerState::new(8, None);
         let one = state.handle_line(&request(
             "enumerate",
             INLINE,
@@ -797,9 +1300,9 @@ mod tests {
 
     #[test]
     fn group_and_global_select_reuse_the_enumeration_cache() {
-        let mut state = ServerState::new(8, None);
+        let state = ServerState::new(8, None);
         let _ = state.handle_line(&request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#));
-        let enum_misses = state.enumerations.stats().misses;
+        let enum_misses = state.enumeration_stats().misses;
         let grouped = state.handle_line(&request("group", INLINE, r#"{"nin":3,"nout":1}"#));
         assert!(
             result_of(&grouped).render().contains("ise-cli/group/v1"),
@@ -816,36 +1319,36 @@ mod tests {
             "{selected}"
         );
         assert_eq!(
-            state.enumerations.stats().misses,
+            state.enumeration_stats().misses,
             enum_misses,
             "group and global select must hit the per-block enumeration cache"
         );
         assert!(
-            state.codings.stats().hits > 0,
+            state.coding_stats().hits > 0,
             "global select reuses group's coding"
         );
     }
 
     #[test]
     fn canon_memo_persists_across_requests_and_port_configs() {
-        let mut state = ServerState::new(8, None);
+        let state = ServerState::new(8, None);
         let _ = state.handle_line(&request("group", INLINE, r#"{"nin":3,"nout":1}"#));
-        let cold = state.memo.stats();
+        let cold = state.memo_stats();
         assert!(cold.labeler_runs > 0, "cold group must run the labeler");
         // A different port configuration misses the codings LRU (the key embeds
         // the ports) but every pattern was already labeled: the memo answers all
         // of them and the labeler never runs again.
-        let coding_misses = state.codings.stats().misses;
+        let coding_misses = state.coding_stats().misses;
         let _ = state.handle_line(&request(
             "group",
             INLINE,
             r#"{"nin":3,"nout":1,"ports-in":2}"#,
         ));
         assert!(
-            state.codings.stats().misses > coding_misses,
+            state.coding_stats().misses > coding_misses,
             "changed ports must miss the codings cache"
         );
-        let warm = state.memo.stats();
+        let warm = state.memo_stats();
         assert_eq!(
             warm.labeler_runs, cold.labeler_runs,
             "memo must answer every re-coded cut"
@@ -870,7 +1373,7 @@ mod tests {
 
     #[test]
     fn per_block_select_matches_modes_and_caches() {
-        let mut state = ServerState::new(8, None);
+        let state = ServerState::new(8, None);
         let response = state.handle_line(&request(
             "select",
             INLINE,
@@ -885,7 +1388,7 @@ mod tests {
 
     #[test]
     fn malformed_requests_answer_in_band_errors() {
-        let mut state = ServerState::new(8, None);
+        let state = ServerState::new(8, None);
         for (line, expect) in [
             ("not json", "not JSON"),
             ("{}", "`op` field"),
@@ -919,7 +1422,7 @@ mod tests {
 
     #[test]
     fn stats_and_shutdown_ops_work() {
-        let mut state = ServerState::new(8, None);
+        let state = ServerState::new(8, None);
         let _ = state.handle_line(&request("enumerate", INLINE, ""));
         let _ = state.handle_line(&request("enumerate", INLINE, ""));
         let stats = state.handle_line(r#"{"op":"stats"}"#);
@@ -934,15 +1437,133 @@ mod tests {
     }
 
     #[test]
+    fn server_counters_classify_every_request_exactly_once() {
+        let state = ServerState::new(8, None);
+        let _ = state.handle_line(&request("enumerate", INLINE, "")); // miss
+        let _ = state.handle_line(&request("enumerate", INLINE, "")); // hit
+        let _ = state.handle_line("not json"); // error
+        let _ = state.handle_line(r#"{"op":"stats"}"#); // control: not counted
+        let stats = state.handle_line(r#"{"op":"stats"}"#);
+        let server = Json::parse(&stats)
+            .unwrap()
+            .get("result")
+            .and_then(|r| r.get("server"))
+            .cloned()
+            .expect("stats op reports the server counters");
+        let counter = |field: &str| server.get(field).and_then(Json::as_u64).unwrap();
+        assert_eq!(counter("requests"), 3, "{stats}");
+        assert_eq!(counter("hits"), 1, "{stats}");
+        assert_eq!(counter("misses"), 1, "{stats}");
+        assert_eq!(counter("errors"), 1, "{stats}");
+        assert_eq!(
+            counter("hits") + counter("misses") + counter("errors"),
+            counter("requests"),
+            "every counted request is exactly one of hit/miss/error: {stats}"
+        );
+        assert_eq!(counter("coalesced"), 0, "single-threaded: no coalescing");
+        assert_eq!(counter("connection_errors"), 0);
+    }
+
+    #[test]
+    fn http_request_line_injects_the_path_op() {
+        let line = http_request_line("enumerate", r#"{"block":"b.dfg","flags":{"nin":3}}"#)
+            .expect("valid body");
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("op").and_then(Json::as_str), Some("enumerate"));
+        assert_eq!(doc.get("block").and_then(Json::as_str), Some("b.dfg"));
+        // A conflicting body op is replaced by the path's.
+        let line = http_request_line("group", r#"{"op":"shutdown","block":"b.dfg"}"#).unwrap();
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("op").and_then(Json::as_str), Some("group"));
+        // Malformed bodies are reported, not panicked on.
+        assert!(http_request_line("enumerate", "[1,2]").is_err());
+        assert!(http_request_line("enumerate", "{nope").is_err());
+        // An empty body is an empty object (the request then fails validation
+        // in-band, with the usual "needs a `block` field" message).
+        let line = http_request_line("enumerate", "  ").unwrap();
+        assert_eq!(
+            Json::parse(&line).unwrap().get("op").and_then(Json::as_str),
+            Some("enumerate")
+        );
+    }
+
+    #[test]
+    fn http_reply_routes_paths_and_status_codes() {
+        let state = ServerState::new(8, None);
+        let (status, body) = http_reply(&state, "GET", "/v1/stats", "");
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("\"op\":\"stats\""), "{body}");
+        let request_body = format!(
+            "{{\"block\":{},\"flags\":{{\"nin\":3,\"nout\":1}}}}",
+            Json::str(INLINE).render()
+        );
+        let (status, body) = http_reply(&state, "POST", "/v1/enumerate", &request_body);
+        assert_eq!(status, "200 OK", "{body}");
+        assert!(body.contains("\"op\":\"enumerate\""), "{body}");
+        assert!(
+            body.contains("ise-cli/enumerate/v1"),
+            "the HTTP body is the JSON protocol's envelope: {body}"
+        );
+        // The HTTP response envelope equals the JSON-protocol response envelope
+        // byte for byte (the warm pass here also proves the transports share
+        // one cache).
+        let via_json = state.handle_line(&request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#));
+        let stripped = |text: &str| Json::parse(text).unwrap().get("result").unwrap().render();
+        assert_eq!(stripped(&body), stripped(&via_json));
+        assert!(via_json.contains("\"cached\":true"), "{via_json}");
+
+        let (status, body) = http_reply(&state, "POST", "/v1/enumerate", "{nope");
+        assert_eq!(status, "400 Bad Request");
+        assert!(body.contains("\"ok\":false"), "{body}");
+        let (status, body) = http_reply(&state, "POST", "/v1/frobnicate", "{}");
+        assert_eq!(status, "404 Not Found");
+        assert!(body.contains("unknown path"), "{body}");
+        let (status, _) = http_reply(&state, "PATCH", "/v1/stats", "");
+        assert_eq!(status, "405 Method Not Allowed");
+        // Routing failures feed the same counters as in-band errors.
+        let stats = state.handle_line(r#"{"op":"stats"}"#);
+        let server = Json::parse(&stats)
+            .unwrap()
+            .get("result")
+            .and_then(|r| r.get("server"))
+            .cloned()
+            .unwrap();
+        let counter = |field: &str| server.get(field).and_then(Json::as_u64).unwrap();
+        assert_eq!(
+            counter("hits") + counter("misses") + counter("errors"),
+            counter("requests"),
+            "{stats}"
+        );
+    }
+
+    #[test]
+    fn http_sniffing_recognizes_methods_not_json() {
+        for http in [
+            "POST /v1/enumerate HTTP/1.1\r\n",
+            "GET /v1/stats HTTP/1.1\r\n",
+            "DELETE /x HTTP/1.1\r\n",
+        ] {
+            assert!(is_http_request_line(http), "{http}");
+        }
+        for json in [
+            "{\"op\":\"stats\"}\n",
+            " {\"op\":\"stats\"}\n",
+            "not json\n",
+        ] {
+            assert!(!is_http_request_line(json), "{json}");
+        }
+    }
+
+    #[test]
     fn disk_cache_survives_a_restart_byte_identically() {
         let dir = std::env::temp_dir().join(format!("ise-serve-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let req = request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#);
         let cold = {
-            let mut state = ServerState::new(8, Some(dir.clone()));
+            let state = ServerState::new(8, Some(dir.clone()));
             state.handle_line(&req)
         };
-        let mut restarted = ServerState::new(8, Some(dir.clone()));
+        let restarted = ServerState::new(8, Some(dir.clone()));
         let warm = restarted.handle_line(&req);
         assert_eq!(
             Json::parse(&warm).unwrap().get("cached"),
@@ -950,7 +1571,7 @@ mod tests {
             "{warm}"
         );
         assert_eq!(result_of(&cold).render(), result_of(&warm).render());
-        assert_eq!(restarted.responses.stats().disk_hits, 1);
+        assert_eq!(restarted.response_stats().disk_hits, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -95,7 +95,7 @@ proptest! {
     /// must also respect the capacity at every step.
     #[test]
     fn eviction_and_requery_stay_byte_identical(seq in proptest::collection::vec(0usize..3, 1..12)) {
-        let mut state = ServerState::new(1, None);
+        let state = ServerState::new(1, None);
         let blocks = [tiny_block(0), tiny_block(1), tiny_block(2)];
         let mut first_payload: [Option<String>; 3] = [None, None, None];
         for index in seq {
@@ -124,7 +124,7 @@ proptest! {
 /// flag change must produce a different key and therefore a cold miss.
 #[test]
 fn formatting_invariant_keys_and_flag_sensitive_misses() {
-    let mut state = ServerState::new(8, None);
+    let state = ServerState::new(8, None);
     let clean = tiny_block(9);
     let noisy = format!(
         "# leading comment\n\n{}",
