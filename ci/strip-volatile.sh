@@ -4,18 +4,21 @@
 # one filter; keep the list in sync with DESIGN.md §7 ("volatile envelope facts").
 #
 # Stripped fields:
-#   *_seconds       wall-clock timings (enumerate/group/select metadata)
-#   threads         worker pool size — outputs are thread-count invariant
-#   par_threshold   fan-out plan knob — changes scheduling, never results
-#   tasks           fan-out plan size — ditto
-#   cached          serve envelope: hit/miss flag, differs cold vs warm by design
-#   elapsed_ms      serve envelope: wall-clock latency
+#   *_seconds        wall-clock timings (enumerate/group/select metadata)
+#   threads          worker pool size — outputs are thread-count invariant
+#   par_threshold    fan-out plan knob — changes scheduling, never results
+#   split_threshold  recursive-split knob — changes the task decomposition,
+#                    never unbudgeted results (null when splitting is off)
+#   tasks            task decomposition size — ditto
+#   cached           serve envelope: hit/miss flag, differs cold vs warm by design
+#   elapsed_ms       serve envelope: wall-clock latency
 #
 # Usage: ci/strip-volatile.sh [FILE...]   (reads stdin when no file is given)
 set -eu
 sed -e 's/"[a-z_]*_seconds":[0-9.e-]*//g' \
     -e 's/"threads":[0-9]*//g' \
     -e 's/"par_threshold":[0-9]*//g' \
+    -e 's/"split_threshold":\(null\|[0-9]*\)//g' \
     -e 's/"tasks":[0-9]*//g' \
     -e 's/"cached":[a-z]*//g' \
     -e 's/"elapsed_ms":[0-9.e-]*//g' \

@@ -40,6 +40,13 @@ fn bench_par_scaling(c: &mut Criterion) {
             },
         );
     }
+    // Recursive splitting at a low threshold: quantifies the suspend/resume and
+    // re-merge overhead of a split-heavy schedule (the results stay identical).
+    group.bench_function("parallel/8tasks_2threads_split", |b| {
+        let mut config = ParConfig::new(8, 2);
+        config.split_threshold = Some(2_000);
+        b.iter(|| parallel_cuts(&ctx, &constraints, &pruning, &config))
+    });
     group.finish();
 }
 

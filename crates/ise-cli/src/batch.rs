@@ -1,31 +1,37 @@
-//! The sharded batch runner: a two-level dynamic (work-sharing) scheduler over
+//! The sharded batch runner: a work-stealing scheduler over dynamically splittable
 //! (block, task) items.
 //!
 //! PR 3's runner sharded whole *blocks* across workers, which left one adversarial
-//! block serializing an entire corpus sweep. This revision flattens the work into
-//! `(block, task)` items — large blocks fan out into first-output tasks via
-//! [`ise_enum::par`], small blocks stay whole — and all workers pull items from a
-//! single lock-free [`AtomicUsize`] fetch-add cursor (the former `Mutex<VecDeque>`
-//! queue was an index range behind a lock; the cursor is the same schedule without
-//! the lock). The worker completing a block's last task merges its task outputs and
-//! finalizes the block, so `--threads` now feeds both levels at once.
+//! block serializing an entire corpus sweep. PR 4 flattened the work into
+//! `(block, task)` items behind one atomic fetch-add cursor — but a cursor only
+//! distributes the *static* fan-out, and recursive task splitting (this revision)
+//! spawns child tasks while the sweep runs. The scheduler is now a
+//! [`WorkStealPool`]: every worker owns a deque, freshly split children land on
+//! their producer's deque (popped LIFO, warm in cache), and idle workers steal the
+//! oldest — coarsest — item from a peer, so one skewed subtree that keeps splitting
+//! is drained by whoever is free instead of serializing its worker's tail. The
+//! worker retiring a block's last task merges its task outputs (sorted by
+//! [`TaskId`], the deterministic serial order) and finalizes the block.
 //!
-//! **Determinism.** The fan-out decision ([`BatchConfig::par_threshold`],
-//! [`MAX_TASKS_PER_BLOCK`]) and the per-task budget split are functions of the block
-//! and the configuration alone — never of the thread count — and the task merge is
-//! deterministic, so every count in the output is byte-identical for any `--threads`
-//! value (the PR 3 guarantee). Unbudgeted fanned-out blocks reproduce the serial
-//! enumeration exactly, statistics included; budgeted ones split the block budget
-//! evenly across tasks (each subtree is truncated independently), which is
+//! **Determinism.** The fan-out plan ([`BatchConfig::par_threshold`],
+//! [`MAX_TASKS_PER_BLOCK`]), the per-task budget split and the split threshold are
+//! functions of the block and the configuration alone — never of the thread count —
+//! suspension points are a pure function of each task's own search, and the sharded
+//! task merge is deterministic, so every count in the output is byte-identical for
+//! any `--threads` value (the PR 3 guarantee). Unbudgeted fanned-out blocks
+//! reproduce the serial enumeration exactly, statistics included; budgeted ones
+//! split the block budget evenly across the *static* tasks (each subtree truncated
+//! independently, budget exhaustion suppressing any further splits), which is
 //! deterministic but intentionally not identical to a serially budgeted run.
 
-use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ise_corpus::CorpusBlock;
-use ise_enum::par::{merge_tasks, run_root_task, task_ranges, TaskOutput};
+use ise_enum::par::{
+    initial_tasks, merge_tasks_sharded, run_task, TaskId, TaskOutput, TaskSpec, WorkStealPool,
+};
 use ise_enum::{
     incremental_cuts_opts, select_ises, Constraints, DedupMode, EngineOptions, EnumContext,
     Enumeration, PruningConfig, Selection,
@@ -36,11 +42,18 @@ use ise_graph::{Dfg, LatencyModel};
 /// default (`--par-threshold` overrides).
 pub const DEFAULT_PAR_THRESHOLD: usize = 64;
 
-/// Upper bound on the number of tasks one block fans out into. A constant (not a
-/// function of the thread count!) so that budgeted runs are byte-identical for any
-/// `--threads` value; 16 tasks keep every realistic worker count fed while bounding
-/// the per-block merge state.
+/// Upper bound on the number of *static* tasks one block fans out into. A constant
+/// (not a function of the thread count!) so that budgeted runs are byte-identical
+/// for any `--threads` value; 16 tasks keep every realistic worker count fed while
+/// bounding the per-block merge state. Recursive splitting can grow the final task
+/// count past this, but only as a function of the block and the flags.
 pub const MAX_TASKS_PER_BLOCK: usize = 16;
+
+/// Default node-count threshold past which a task re-splits at its next decision
+/// level (`--split-threshold` overrides; `0` disables splitting). High enough that
+/// default budgeted sweeps (whose per-task budgets are far smaller) never split, and
+/// unbudgeted heavy blocks — the E7 pathology — do.
+pub const DEFAULT_SPLIT_THRESHOLD: usize = 1_000_000;
 
 /// Selection settings for `ise select` (enumeration settings live in [`BatchConfig`]).
 #[derive(Clone, Debug)]
@@ -61,10 +74,10 @@ pub struct BatchConfig {
     /// The §5.3 pruning techniques to apply (all, for production runs).
     pub pruning: PruningConfig,
     /// Optional per-block search budget (`None` = unbounded); fanned-out blocks
-    /// split it evenly across their tasks.
+    /// split it evenly across their static tasks.
     pub budget: Option<usize>,
-    /// Number of worker threads; clamped to at least 1. Feeds both scheduler levels
-    /// and never changes any output count.
+    /// Number of worker threads; clamped to at least 1. Feeds the scheduler and the
+    /// sharded merges and never changes any output count.
     pub threads: usize,
     /// When set, each block additionally runs the greedy ISE selection.
     pub select: Option<SelectionConfig>,
@@ -72,13 +85,17 @@ pub struct BatchConfig {
     /// (`--dedup-mode`; [`DedupMode::ValidateFirst`] is the bounded-memory fallback).
     pub dedup_mode: DedupMode,
     /// Minimum block size (in vertices) for intra-block fan-out; `usize::MAX`
-    /// disables fan-out entirely.
+    /// disables fan-out (and with it recursive splitting) entirely.
     pub par_threshold: usize,
+    /// Recursive split threshold for fanned-out tasks (`None` disables). Applies
+    /// only to blocks at or above [`BatchConfig::par_threshold`]. Changes the work
+    /// decomposition, never the unbudgeted results.
+    pub split_threshold: Option<usize>,
 }
 
 impl BatchConfig {
     /// An unbounded single-threaded enumerate-only configuration with the default
-    /// fan-out threshold.
+    /// fan-out and split thresholds.
     pub fn new(constraints: Constraints) -> Self {
         BatchConfig {
             constraints,
@@ -88,6 +105,7 @@ impl BatchConfig {
             select: None,
             dedup_mode: DedupMode::default(),
             par_threshold: DEFAULT_PAR_THRESHOLD,
+            split_threshold: Some(DEFAULT_SPLIT_THRESHOLD),
         }
     }
 }
@@ -107,7 +125,9 @@ pub struct BlockOutcome {
     pub edges: usize,
     /// Forbidden-vertex count of the block (memory operations, calls, user marks).
     pub forbidden: usize,
-    /// How many first-output tasks the block was split into (1 = ran whole).
+    /// How many tasks the block's enumeration was merged from (1 = ran whole;
+    /// recursive splitting can push this past the static fan-out — still a pure
+    /// function of the block and the flags, never of the thread count).
     pub tasks: usize,
     /// The enumeration result (merged across tasks when the block fanned out).
     pub enumeration: Enumeration,
@@ -118,37 +138,59 @@ pub struct BlockOutcome {
     pub elapsed: Duration,
 }
 
-/// The per-block schedule: how many tasks, over which first-output ranges.
+/// The per-block schedule. `specs` empty means the block runs whole on one worker
+/// (small blocks below the fan-out threshold, and degenerate fan-outs with at most
+/// one candidate and splitting off).
 struct BlockPlan {
-    tasks: usize,
-    ranges: Vec<Range<usize>>,
+    specs: Vec<TaskSpec>,
+    split_threshold: Option<usize>,
     options: EngineOptions,
 }
 
-/// In-flight state of one block; the worker finishing the last task merges.
+/// In-flight state of one block; the worker retiring the last task merges.
 struct BlockSlot {
     ctx: OnceLock<EnumContext>,
     started: OnceLock<Instant>,
+    /// Tasks queued or running for this block — static tasks up front, plus every
+    /// spawned child (registered before its parent retires).
     pending: AtomicUsize,
-    outputs: Vec<Mutex<Option<TaskOutput>>>,
+    outputs: Mutex<Vec<(TaskId, TaskOutput)>>,
     outcome: OnceLock<BlockOutcome>,
 }
 
 fn plan_block(dfg: &Dfg, config: &BatchConfig) -> BlockPlan {
     // The engine's own context-free counter, so the plan's task ranges can never
-    // drift from the candidate list `run_root_task` slices.
+    // drift from the candidate list `run_task` slices.
     let candidates = EnumContext::candidate_output_count(dfg);
-    let tasks = if dfg.len() >= config.par_threshold {
+    let fan_out = dfg.len() >= config.par_threshold;
+    let tasks = if fan_out {
         candidates.clamp(1, MAX_TASKS_PER_BLOCK)
     } else {
         1
     };
+    let split_threshold = if fan_out {
+        config.split_threshold
+    } else {
+        None
+    };
+    let mut specs = if fan_out {
+        initial_tasks(candidates, tasks)
+    } else {
+        Vec::new()
+    };
+    if specs.len() == 1 && split_threshold.is_none() {
+        // A single static task that can never split is exactly the serial run; skip
+        // the task/merge machinery (this also covers candidate-starved blocks, whose
+        // degenerate extra ranges `initial_tasks` already drops).
+        specs.clear();
+    }
     BlockPlan {
-        tasks,
-        ranges: task_ranges(candidates, tasks),
+        specs,
+        split_threshold,
         options: EngineOptions {
-            // The block budget is split evenly across tasks so a fanned-out sweep
-            // costs what a whole-block sweep would; deterministic in the plan alone.
+            // The block budget is split evenly across the static tasks so a
+            // fanned-out sweep costs what a whole-block sweep would; deterministic in
+            // the plan alone. Budget exhaustion suppresses recursive splits.
             max_search_nodes: config.budget.map(|b| b.div_ceil(tasks).max(1)),
             dedup_mode: config.dedup_mode,
             ..EngineOptions::default()
@@ -156,49 +198,68 @@ fn plan_block(dfg: &Dfg, config: &BatchConfig) -> BlockPlan {
     }
 }
 
+/// One schedulable unit: a block index plus either a task of its fan-out or `None`
+/// for a whole-block (serial) run.
+type WorkItem = (usize, Option<TaskSpec>);
+
 /// Runs the batch: every block of `blocks` through the engine, with large blocks
-/// fanned out into first-output tasks, all `(block, task)` items pulled from one
-/// atomic cursor by [`BatchConfig::threads`] workers.
+/// fanned out into first-output tasks (recursively re-split past the split
+/// threshold), all items scheduled by a [`WorkStealPool`] over
+/// [`BatchConfig::threads`] workers.
 ///
 /// Each worker owns its per-task search state — the engine's `Send` audit guarantees
-/// nothing is shared mutably — and both the fan-out plan and the task merge are
-/// deterministic, so the outcomes (sorted by block index) are identical for every
-/// thread count; only the wall times differ.
+/// nothing is shared mutably — and the fan-out plan, the split points and the task
+/// merge are all deterministic, so the outcomes (sorted by block index) are
+/// identical for every thread count; only the wall times differ.
 pub fn run_batch(blocks: &[CorpusBlock], config: &BatchConfig) -> Vec<BlockOutcome> {
     let plans: Vec<BlockPlan> = blocks.iter().map(|b| plan_block(&b.dfg, config)).collect();
-    let items: Vec<(usize, usize)> = plans
-        .iter()
-        .enumerate()
-        .flat_map(|(block, plan)| (0..plan.tasks).map(move |task| (block, task)))
-        .collect();
     let slots: Vec<BlockSlot> = plans
         .iter()
         .map(|plan| BlockSlot {
             ctx: OnceLock::new(),
             started: OnceLock::new(),
-            pending: AtomicUsize::new(plan.tasks),
-            outputs: (0..plan.tasks).map(|_| Mutex::new(None)).collect(),
+            pending: AtomicUsize::new(plan.specs.len().max(1)),
+            outputs: Mutex::new(Vec::new()),
             outcome: OnceLock::new(),
         })
         .collect();
+    let items: Vec<WorkItem> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(block, plan)| -> Vec<WorkItem> {
+            if plan.specs.is_empty() {
+                vec![(block, None)]
+            } else {
+                plan.specs
+                    .iter()
+                    .map(|spec| (block, Some(spec.clone())))
+                    .collect()
+            }
+        })
+        .collect();
 
-    let cursor = AtomicUsize::new(0);
     let workers = config.threads.max(1).min(items.len().max(1));
+    let pool = WorkStealPool::new(workers);
+    pool.seed(items);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let item = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&(block_idx, task_idx)) = items.get(item) else {
-                    break;
-                };
-                run_item(
-                    &blocks[block_idx],
-                    block_idx,
-                    task_idx,
-                    &plans[block_idx],
-                    &slots[block_idx],
-                    config,
-                );
+        for worker in 0..workers {
+            let pool = &pool;
+            let plans = &plans;
+            let slots = &slots;
+            scope.spawn(move || {
+                while let Some((block_idx, spec)) = pool.pop(worker) {
+                    run_item(
+                        &blocks[block_idx],
+                        block_idx,
+                        spec,
+                        &plans[block_idx],
+                        &slots[block_idx],
+                        config,
+                        pool,
+                        worker,
+                    );
+                    pool.done();
+                }
             });
         }
     });
@@ -213,57 +274,65 @@ pub fn run_batch(blocks: &[CorpusBlock], config: &BatchConfig) -> Vec<BlockOutco
         .collect()
 }
 
-/// Executes one `(block, task)` item; the worker completing a block's last task
-/// merges and finalizes it.
+/// Executes one work item; the worker retiring a block's last task merges and
+/// finalizes it.
+#[allow(clippy::too_many_arguments)]
 fn run_item(
     block: &CorpusBlock,
     block_idx: usize,
-    task_idx: usize,
+    spec: Option<TaskSpec>,
     plan: &BlockPlan,
     slot: &BlockSlot,
     config: &BatchConfig,
+    pool: &WorkStealPool<WorkItem>,
+    worker: usize,
 ) {
     let started = *slot.started.get_or_init(Instant::now);
     let ctx = slot.ctx.get_or_init(|| EnumContext::new(block.dfg.clone()));
-    if plan.tasks == 1 {
+    let Some(spec) = spec else {
         // Whole-block item: run the serial engine directly, no merge needed.
         let enumeration =
             incremental_cuts_opts(ctx, &config.constraints, &config.pruning, &plan.options);
-        finalize(block, block_idx, plan, slot, config, enumeration, started);
-    } else {
-        let output = run_root_task(
-            ctx,
-            &config.constraints,
-            &config.pruning,
-            &plan.options,
-            plan.ranges[task_idx].clone(),
-        );
-        *slot.outputs[task_idx]
-            .lock()
-            .expect("task output slot poisoned") = Some(output);
-        // The last task to finish (the mutex stores above synchronize with this
-        // acquire) merges in range order — deterministic whatever the schedule was.
-        if slot.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let outputs: Vec<TaskOutput> = slot
-                .outputs
-                .iter()
-                .map(|m| {
-                    m.lock()
-                        .expect("task output slot poisoned")
-                        .take()
-                        .expect("all tasks of the block completed")
-                })
-                .collect();
-            let enumeration = merge_tasks(ctx, &plan.options, outputs);
-            finalize(block, block_idx, plan, slot, config, enumeration, started);
+        finalize(block, block_idx, 1, slot, config, enumeration, started);
+        return;
+    };
+    let (output, children) = run_task(
+        ctx,
+        &config.constraints,
+        &config.pruning,
+        &plan.options,
+        plan.split_threshold,
+        &spec,
+    );
+    if !children.is_empty() {
+        // Register the children before retiring this task, so the block can never
+        // look complete while split-off work is still queued.
+        slot.pending.fetch_add(children.len(), Ordering::AcqRel);
+        for child in children {
+            pool.push(worker, (block_idx, Some(child)));
         }
+    }
+    slot.outputs
+        .lock()
+        .expect("task output list poisoned")
+        .push((spec.id().clone(), output));
+    // The last task to retire (the mutex pushes above synchronize with this acquire)
+    // merges in TaskId order — the serial order, whatever the schedule was.
+    if slot.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut outputs =
+            std::mem::take(&mut *slot.outputs.lock().expect("task output list poisoned"));
+        outputs.sort_by(|a, b| a.0.cmp(&b.0));
+        let tasks = outputs.len();
+        let outputs: Vec<TaskOutput> = outputs.into_iter().map(|(_, out)| out).collect();
+        let enumeration = merge_tasks_sharded(ctx, &plan.options, outputs, config.threads);
+        finalize(block, block_idx, tasks, slot, config, enumeration, started);
     }
 }
 
 fn finalize(
     block: &CorpusBlock,
     index: usize,
-    plan: &BlockPlan,
+    tasks: usize,
     slot: &BlockSlot,
     config: &BatchConfig,
     enumeration: Enumeration,
@@ -286,7 +355,7 @@ fn finalize(
         nodes: block.dfg.len(),
         edges: block.dfg.edge_count(),
         forbidden: block.dfg.forbidden().len(),
-        tasks: plan.tasks,
+        tasks,
         enumeration,
         selection,
         elapsed: started.elapsed(),
@@ -370,15 +439,49 @@ mod tests {
         }
     }
 
+    /// Forced recursive splitting (tiny split threshold) must also reproduce the
+    /// serial enumeration exactly, while actually growing the task count past the
+    /// static fan-out.
+    #[test]
+    fn recursively_split_blocks_match_direct_engine_runs_exactly() {
+        let blocks = small_corpus();
+        let mut cfg = config(3);
+        cfg.par_threshold = 1;
+        cfg.split_threshold = Some(50);
+        let outcomes = run_batch(&blocks, &cfg);
+        assert!(
+            outcomes.iter().any(|o| o.tasks > MAX_TASKS_PER_BLOCK),
+            "a 50-node threshold must split some block past the static fan-out"
+        );
+        for (outcome, block) in outcomes.iter().zip(&blocks) {
+            let direct = run_on_graph(&block.dfg, &cfg.constraints, &cfg.pruning, None);
+            assert_eq!(
+                outcome.enumeration.stats, direct.stats,
+                "merged stats differ from serial on {}",
+                outcome.name
+            );
+            let merged: Vec<_> = outcome.enumeration.cuts.iter().map(|c| c.key()).collect();
+            let serial: Vec<_> = direct.cuts.iter().map(|c| c.key()).collect();
+            assert_eq!(merged, serial, "cut order differs on {}", outcome.name);
+        }
+    }
+
     /// Thread count must not change results — only wall time (acceptance criterion:
-    /// identical aggregate counts for N=1 and N=8) — including when blocks fan out.
+    /// identical aggregate counts for N=1 and N=8) — including when blocks fan out
+    /// and recursively split.
     #[test]
     fn thread_count_does_not_change_results() {
         let blocks = small_corpus();
-        for par_threshold in [DEFAULT_PAR_THRESHOLD, 1] {
+        for (par_threshold, split_threshold) in [
+            (DEFAULT_PAR_THRESHOLD, Some(DEFAULT_SPLIT_THRESHOLD)),
+            (1, Some(DEFAULT_SPLIT_THRESHOLD)),
+            (1, Some(25)),
+            (1, None),
+        ] {
             let make = |threads| {
                 let mut cfg = config(threads);
                 cfg.par_threshold = par_threshold;
+                cfg.split_threshold = split_threshold;
                 cfg
             };
             let one = run_batch(&blocks, &make(1));
@@ -388,7 +491,7 @@ mod tests {
                 for (a, b) in one.iter().zip(&many) {
                     assert_eq!(a.index, b.index);
                     assert_eq!(a.name, b.name);
-                    assert_eq!(a.tasks, b.tasks);
+                    assert_eq!(a.tasks, b.tasks, "{}: task plan drifted", a.name);
                     assert_eq!(a.enumeration.stats, b.enumeration.stats);
                     assert_eq!(a.enumeration.cuts.len(), b.enumeration.cuts.len());
                 }
@@ -453,8 +556,9 @@ mod tests {
         for outcome in run_batch(&blocks, &cfg) {
             assert!(outcome.enumeration.stats.search_nodes <= 10);
         }
-        // Fanned out, the block budget is split across tasks, so the block total
-        // still cannot exceed the budget (plus per-task rounding).
+        // Fanned out, the block budget is split across the static tasks, so the
+        // block total still cannot exceed the budget (plus per-task rounding) —
+        // per-task budgets are far below the split threshold, so no task splits.
         cfg.par_threshold = 1;
         cfg.budget = Some(32);
         for outcome in run_batch(&blocks, &cfg) {

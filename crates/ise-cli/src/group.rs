@@ -459,6 +459,7 @@ mod tests {
             threads,
             budget: None,
             par_threshold: crate::batch::DEFAULT_PAR_THRESHOLD,
+            split_threshold: Some(crate::batch::DEFAULT_SPLIT_THRESHOLD),
             dedup_mode: ise_enum::DedupMode::DedupFirst,
             select: true,
             elapsed: Duration::from_millis(2),

@@ -17,15 +17,16 @@
 //! recognizes recurring candidates across the corpus by canonical code (the
 //! [`group`] module); `report` prints a corpus inventory (loading doubles as
 //! validation) or, with `--dot`, one block as a Graphviz digraph with its
-//! selected ISEs highlighted. Work is sharded at **two
-//! levels** by one scheduler ([`batch::run_batch`]): blocks with at least
-//! `--par-threshold` vertices fan out into first-output tasks (`ise_enum::par`),
-//! smaller blocks stay whole, and `--threads` workers pull the flattened
-//! `(block, task)` items from a lock-free atomic cursor — so a single adversarial
-//! block scales with cores instead of serializing the sweep. The fan-out plan is a
-//! function of the block and the flags alone (never of the thread count) and the
-//! task merge is deterministic, so **every count in the JSON and markdown output is
-//! identical for any thread count** — only wall times vary. Runs are budgeted per
+//! selected ISEs highlighted. Work is scheduled by one work-stealing pool
+//! ([`batch::run_batch`]): blocks with at least `--par-threshold` vertices fan out
+//! into first-output tasks (`ise_enum::par`), smaller blocks stay whole, any task
+//! whose search exceeds `--split-threshold` nodes re-splits into child tasks on the
+//! fly, and idle `--threads` workers steal queued items from busy peers — so a
+//! single adversarial block (even one with a single skewed subtree) scales with
+//! cores instead of serializing the sweep. The fan-out plan and the split points
+//! are functions of the block and the flags alone (never of the thread count) and
+//! the task merge is deterministic, so **every count in the JSON and markdown
+//! output is identical for any thread count** — only wall times vary. Runs are budgeted per
 //! block by default ([`DEFAULT_BUDGET`] search nodes, `--budget 0` to lift; fanned
 //! blocks split the budget across tasks) so one adversarial block cannot stall a
 //! corpus sweep, and `--dedup-mode validate-first` selects the bounded-memory
@@ -76,7 +77,9 @@ use ise_canon::{CanonMemo, GroupConfig};
 use ise_corpus::{load_corpus_path, CorpusError};
 use ise_enum::{Constraints, DedupMode, PruningConfig};
 
-use batch::{run_batch, BatchConfig, SelectionConfig, DEFAULT_PAR_THRESHOLD};
+use batch::{
+    run_batch, BatchConfig, SelectionConfig, DEFAULT_PAR_THRESHOLD, DEFAULT_SPLIT_THRESHOLD,
+};
 use report::{batch_json, batch_markdown, corpus_markdown, RunMeta};
 
 /// The usage text printed by `ise help` and attached to usage errors.
@@ -85,7 +88,8 @@ usage: ise <enumerate|select|group|report> [flags]
 
   ise enumerate --corpus PATH [--threads N] [--nin 4] [--nout 2]
                 [--budget M] [--limit K] [--out FILE|-] [--md FILE|-]
-                [--par-threshold V] [--dedup-mode dedup-first|validate-first]
+                [--par-threshold V] [--split-threshold S]
+                [--dedup-mode dedup-first|validate-first]
   ise select    (same flags as enumerate)
                 [--max-instr 4] [--ports-in N] [--ports-out N] [--global]
                 [--no-memo]
@@ -102,11 +106,15 @@ PATH is a .dfg file or a directory of .dfg files (default: corpus).
 --out/--md write JSON/markdown to FILE, or to stdout when FILE is `-`.
 --budget caps the search per block in search nodes (default 1000000,
 0 = unbounded); small blocks finish below it and are enumerated fully.
---threads feeds a two-level scheduler: blocks with at least
+--threads feeds a work-stealing scheduler: blocks with at least
 --par-threshold vertices (default 64; 0 = always, a huge value = never)
-fan out into first-output tasks, so one large block scales with threads
-too. All counts are byte-identical for any --threads value; fanned-out
-blocks split their --budget evenly across tasks.
+fan out into first-output tasks, and any task whose own search exceeds
+--split-threshold nodes (default 1000000; 0 = never split) re-splits at
+its next decision level into child tasks, so one skewed subtree cannot
+serialize a sweep. The split points depend only on the block and the
+flags, so all counts are byte-identical for any --threads value;
+fanned-out blocks split their --budget evenly across the initial tasks
+(budget-truncated tasks never split further).
 --dedup-mode validate-first bounds the dedup arena by the valid cuts
 (the memory fallback for huge blocks) at the cost of re-validating
 duplicate candidates; the reported cuts are identical.
@@ -230,6 +238,7 @@ const BATCH_FLAGS: &[&str] = &[
     "out",
     "md",
     "par-threshold",
+    "split-threshold",
     "dedup-mode",
 ];
 const SELECT_FLAGS: &[&str] = &[
@@ -242,6 +251,7 @@ const SELECT_FLAGS: &[&str] = &[
     "out",
     "md",
     "par-threshold",
+    "split-threshold",
     "dedup-mode",
     "max-instr",
     "ports-in",
@@ -257,6 +267,7 @@ const GROUP_FLAGS: &[&str] = &[
     "out",
     "md",
     "par-threshold",
+    "split-threshold",
     "dedup-mode",
     "ports-in",
     "ports-out",
@@ -282,6 +293,7 @@ struct CommonBatchArgs {
     threads: usize,
     budget: Option<usize>,
     par_threshold: usize,
+    split_threshold: Option<usize>,
     dedup_mode: DedupMode,
     constraints: Constraints,
 }
@@ -299,6 +311,10 @@ fn parse_common(flags: &Flags) -> Result<CommonBatchArgs, CliError> {
             limit => Some(limit),
         },
         par_threshold: flags.usize("par-threshold", DEFAULT_PAR_THRESHOLD)?,
+        split_threshold: match flags.usize("split-threshold", DEFAULT_SPLIT_THRESHOLD)? {
+            0 => None,
+            threshold => Some(threshold),
+        },
         dedup_mode: parse_dedup_mode(flags)?,
         constraints: Constraints::new(nin, nout)
             .map_err(|e| CliError::Usage(format!("--nin/--nout: {e}")))?,
@@ -315,6 +331,7 @@ impl CommonBatchArgs {
             select,
             dedup_mode: self.dedup_mode,
             par_threshold: self.par_threshold,
+            split_threshold: self.split_threshold,
         }
     }
 
@@ -326,6 +343,7 @@ impl CommonBatchArgs {
             threads: self.threads,
             budget: self.budget,
             par_threshold: self.par_threshold,
+            split_threshold: self.split_threshold,
             dedup_mode: self.dedup_mode,
             select,
             elapsed,
@@ -983,6 +1001,8 @@ mod tests {
             "validate-first",
             "--par-threshold",
             "1",
+            "--split-threshold",
+            "5",
             "--budget",
             "0",
             "--out",
@@ -992,7 +1012,27 @@ mod tests {
         let json = std::fs::read_to_string(&out).unwrap();
         assert!(json.contains(r#""dedup_mode":"validate-first""#), "{json}");
         assert!(json.contains(r#""par_threshold":1"#), "{json}");
+        assert!(json.contains(r#""split_threshold":5"#), "{json}");
         assert!(json.contains(r#""tasks":"#), "{json}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn split_threshold_zero_disables_splitting() {
+        let dir = demo_corpus("nosplit");
+        let out = dir.join("f.json");
+        run(&argv(&[
+            "enumerate",
+            "--corpus",
+            dir.to_str().unwrap(),
+            "--split-threshold",
+            "0",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains(r#""split_threshold":null"#), "{json}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

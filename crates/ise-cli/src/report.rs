@@ -24,6 +24,8 @@ pub struct RunMeta {
     pub budget: Option<usize>,
     /// Minimum block size (vertices) for intra-block fan-out.
     pub par_threshold: usize,
+    /// Recursive task-split threshold in search nodes (`None` = splitting off).
+    pub split_threshold: Option<usize>,
     /// De-duplication mode of the run.
     pub dedup_mode: DedupMode,
     /// Whether this was an `ise select` run. Carried explicitly so the schema and
@@ -105,6 +107,10 @@ pub(crate) fn batch_json_with(
         ("threads", Json::uint(meta.threads)),
         ("budget", meta.budget.map_or(Json::Null, Json::uint)),
         ("par_threshold", Json::uint(meta.par_threshold)),
+        (
+            "split_threshold",
+            meta.split_threshold.map_or(Json::Null, Json::uint),
+        ),
         (
             "dedup_mode",
             Json::str(match meta.dedup_mode {
@@ -320,6 +326,7 @@ mod tests {
             threads: 1,
             budget: None,
             par_threshold: crate::batch::DEFAULT_PAR_THRESHOLD,
+            split_threshold: Some(crate::batch::DEFAULT_SPLIT_THRESHOLD),
             dedup_mode: DedupMode::DedupFirst,
             select,
             elapsed: Duration::from_millis(5),
@@ -358,6 +365,7 @@ mod tests {
             threads: 1,
             budget: None,
             par_threshold: crate::batch::DEFAULT_PAR_THRESHOLD,
+            split_threshold: Some(crate::batch::DEFAULT_SPLIT_THRESHOLD),
             dedup_mode: DedupMode::DedupFirst,
             select: true,
             elapsed: Duration::from_millis(1),

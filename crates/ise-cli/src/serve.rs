@@ -157,6 +157,7 @@ const REQ_COMMON: &[&str] = &[
     "budget",
     "limit",
     "par-threshold",
+    "split-threshold",
     "dedup-mode",
 ];
 const REQ_SELECT_EXTRA: &[&str] = &["max-instr", "ports-in", "ports-out"];
@@ -755,17 +756,22 @@ fn rebuild_outcome(
 }
 
 /// The engine facts every evaluated op keys on: constraints, prunings, budget,
-/// fan-out threshold and dedup mode. Thread counts are deliberately absent — they
-/// never change a result byte.
+/// fan-out and split thresholds and dedup mode. Thread counts are deliberately
+/// absent — they never change a result byte. The split threshold is included
+/// because budgeted runs re-budget split-off tasks, so it can change counts there
+/// (deterministically).
 fn engine_token(common: &CommonBatchArgs) -> String {
     format!(
-        "{};{};budget={};par-threshold={};dedup={}",
+        "{};{};budget={};par-threshold={};split-threshold={};dedup={}",
         common.constraints.cache_token(),
         PruningConfig::all().cache_token(),
         common
             .budget
             .map_or_else(|| "none".to_string(), |b| b.to_string()),
         common.par_threshold,
+        common
+            .split_threshold
+            .map_or_else(|| "none".to_string(), |t| t.to_string()),
         common.dedup_mode.as_str(),
     )
 }

@@ -839,6 +839,13 @@ impl CutKeySet {
         &self.arena[start..start + self.stride]
     }
 
+    /// Hash of a packed key. Exposed crate-wide so the task merge can shard keys by
+    /// the *high* hash bits (the table index below uses the low bits, so the two
+    /// partitions stay independent — the same split `CanonMemo` uses for its stripes).
+    pub(crate) fn hash_key(words: &[u64]) -> u64 {
+        Self::hash(words)
+    }
+
     fn hash(words: &[u64]) -> u64 {
         // FNV-1a over 64-bit words, followed by a murmur3-style finalizer. The
         // finalizer matters: the FNV multiply only propagates entropy towards the high
@@ -858,12 +865,19 @@ impl CutKeySet {
 
     /// Inserts `words`; returns `true` if the key was not already present.
     pub(crate) fn insert(&mut self, words: &[u64]) -> bool {
+        self.insert_prehashed(words, Self::hash(words))
+    }
+
+    /// [`insert`](Self::insert) with the hash supplied by the caller — the sharded
+    /// merge computes every key's hash once for shard routing and reuses it here.
+    pub(crate) fn insert_prehashed(&mut self, words: &[u64], hash: u64) -> bool {
         debug_assert_eq!(words.len(), self.stride);
+        debug_assert_eq!(hash, Self::hash(words));
         if (self.len + 1) * 4 >= self.table.len() * 3 {
             self.grow();
         }
         let mask = self.table.len() - 1;
-        let mut slot = (Self::hash(words) as usize) & mask;
+        let mut slot = (hash as usize) & mask;
         loop {
             match self.table[slot] {
                 EMPTY_SLOT => {

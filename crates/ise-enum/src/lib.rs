@@ -28,10 +28,12 @@
 //! [`BodyStrategy::Rebuild`] for benchmarking.
 //!
 //! For large blocks the [`par`] module splits the incremental search at the
-//! first-output level into independent tasks and merges them deterministically —
-//! [`par::parallel_cuts`] reproduces the serial enumeration (cuts and statistics)
-//! exactly for any task and thread count on unbudgeted runs. [`DedupMode`] selects
-//! the §1.2 memory fallback (validate-before-dedup) per run.
+//! first-output level into independent tasks — recursively re-split past a
+//! node-count threshold, scheduled by a work-stealing pool, and merged through a
+//! hash-sharded deterministic reduction — and [`par::parallel_cuts`] reproduces the
+//! serial enumeration (cuts and statistics) exactly for any task count, split
+//! threshold and thread count on unbudgeted runs. [`DedupMode`] selects the §1.2
+//! memory fallback (validate-before-dedup) per run.
 //!
 //! # Example
 //!
@@ -91,7 +93,7 @@ pub use incremental::{
 pub use merit::{estimate_merit, Merit};
 pub use result::Enumeration;
 pub use selection::{select_ises, Selection};
-pub use stats::EnumStats;
+pub use stats::{EnumStats, TaskLoadSummary};
 
 use ise_graph::{Dfg, GraphError};
 

@@ -1,5 +1,5 @@
 //! Intra-block task-parallel enumeration: the Figure 3 search split at the
-//! first-output level.
+//! first-output level, with recursive task splitting and a work-stealing scheduler.
 //!
 //! The top level of the incremental algorithm's recursion is embarrassingly parallel:
 //! the serial `PICK-OUTPUT` loop tries every candidate first output in order, and each
@@ -10,63 +10,181 @@
 //! DESIGN.md §1.4 for the argument). A subtree rooted at one first output is therefore
 //! an independent task.
 //!
-//! This module splits [`EnumContext::candidate_outputs`] into contiguous ranges
-//! ([`task_ranges`]), runs the unmodified serial engine once per range
-//! ([`run_root_task`], via [`crate::IncrementalEnumerator::with_root_range`]) and
-//! merges the per-task results deterministically ([`merge_tasks`]): tasks are replayed
-//! in range order against a global seen-set, so the merged [`Enumeration`] — cuts *and*
-//! statistics — is byte-identical to the serial run for unbudgeted runs, for **any**
-//! task count and any thread count. With a per-task search budget the result is still
-//! deterministic in the task count (each subtree is truncated independently), just not
-//! equal to the serially budgeted run; batch drivers must therefore derive the task
-//! count from the block alone, never from the thread count.
+//! Three mechanisms make the decomposition scale past its static fan-out:
 //!
-//! [`parallel_cuts`] bundles split → run-on-N-threads → merge behind one call; batch
-//! drivers with their own scheduler (the `ise` CLI's two-level work queue) call the
-//! three stages directly.
+//! * **Recursive task splitting.** A task that exceeds [`ParConfig::split_threshold`]
+//!   search nodes *suspends* at its next decision boundary — between first-output
+//!   roots, or between the first-level `PICK-INPUTS` decisions inside a root — and
+//!   emits child tasks covering exactly the untouched remainder. No work is discarded
+//!   or repeated; the suspension point is a pure function of (block, options,
+//!   threshold), so the resulting task tree is identical for every thread count.
+//!   Child ids extend the parent's id ([`TaskId`] is a path; lexicographic order is
+//!   the serial traversal order), which is all the merge needs.
+//! * **Work stealing.** [`WorkStealPool`] gives each worker its own deque: workers
+//!   pop their newest item (their own freshly split children, for locality) and idle
+//!   workers steal the oldest item from a peer — so a skewed subtree that keeps
+//!   splitting is drained by whoever is free, instead of serializing one worker's
+//!   tail. Scheduling order never affects the output: tasks are pure functions and
+//!   the merge sorts by [`TaskId`].
+//! * **Sharded merge.** [`merge_tasks_sharded`] stripes the global seen-set by the
+//!   high bits of the cut-key hash into 16 independent shards (the `CanonMemo` stripe
+//!   pattern), computes first-seen/duplicate verdicts per shard — in parallel when
+//!   threads are available — and then emits cuts and statistics in one ordered pass.
+//!   Equal keys always land in the same shard and shard-local order equals the serial
+//!   replay order, so the verdicts (and thus the output bytes) never change.
+//!
+//! The merged [`Enumeration`] — cuts *and* statistics — is byte-identical to the
+//! serial run for unbudgeted runs, for **any** task count, split threshold and thread
+//! count. With a per-task search budget the result is still deterministic in (tasks,
+//! split threshold), just not equal to the serially budgeted run; batch drivers must
+//! therefore derive both knobs from the block and flags alone, never from the machine.
+//!
+//! [`parallel_cuts`] bundles split → run/steal → merge behind one call; batch drivers
+//! with their own scheduler (the `ise` CLI) drive [`initial_tasks`], [`run_task`] and
+//! [`merge_tasks_sharded`] directly over a shared [`WorkStealPool`].
 
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 use crate::config::{Constraints, PruningConfig};
 use crate::context::EnumContext;
 use crate::engine::{
     BodyStrategy, CandidateClass, CutKeySet, DedupMode, EngineOptions, SearchState, TaskHarvest,
 };
-use crate::incremental::{incremental_cuts_opts, IncrementalEnumerator};
+use crate::incremental::{incremental_cuts_opts, IncrementalEnumerator, SuspendPoint};
 use crate::result::Enumeration;
 use crate::stats::EnumStats;
+
+/// Number of seen-set shards in the parallel-reducible merge; mirrors the 16-way
+/// stripe of `ise-canon`'s `CanonMemo`. Shard routing uses the top four hash bits,
+/// the shard-local probe tables use the low bits — independent partitions.
+const MERGE_SHARDS: usize = 16;
 
 /// Configuration of one [`parallel_cuts`] run.
 #[derive(Clone, Debug, Default)]
 pub struct ParConfig {
-    /// Number of first-output tasks to split the search into (clamped to the number
-    /// of candidate outputs; `0` or `1` means run serially). The merged result is
+    /// Number of first-output tasks to split the search into up front (clamped to the
+    /// number of candidate outputs; `0` or `1` means one task). The merged result is
     /// independent of this for unbudgeted runs; with a budget it is deterministic in
     /// the task count, so derive it from the block, not from the machine.
     pub tasks: usize,
-    /// Worker threads executing the tasks (clamped to `[1, tasks]`). Never affects
-    /// the result, only the wall time.
+    /// Worker threads executing the tasks. Never affects the result, only the wall
+    /// time.
     pub threads: usize,
     /// Engine settings shared by every task; `max_search_nodes` applies per task.
     pub options: EngineOptions,
+    /// Recursive split threshold: a task that exceeds this many search nodes suspends
+    /// at its next decision boundary and hands the remainder to child tasks. `None`
+    /// disables splitting (the static fan-out of `tasks` is final). Like `tasks`,
+    /// this changes the work decomposition but never the unbudgeted result.
+    pub split_threshold: Option<usize>,
 }
 
 impl ParConfig {
-    /// A default-options configuration with the given task and thread counts.
+    /// A default-options configuration with the given task and thread counts and no
+    /// recursive splitting.
     pub fn new(tasks: usize, threads: usize) -> Self {
         ParConfig {
             tasks,
             threads,
             options: EngineOptions::default(),
+            split_threshold: None,
         }
     }
 }
 
-/// What one first-output task produced; feed the outputs of a full partition, in
-/// range order, to [`merge_tasks`]. Opaque: the classification log inside is an
-/// implementation detail of the merge.
+/// Deterministic identity of one task in the (possibly recursive) decomposition.
+///
+/// The id is the path from the static fan-out to the task: initial task `i` is `[i]`,
+/// and the `j`-th child spawned by a suspending task appends `j` to its parent's
+/// path. Because a parent's output covers the traversal prefix it completed before
+/// suspending, and children cover the remainder in order, **lexicographic id order is
+/// exactly the serial traversal order** — sorting task outputs by id is all the
+/// deterministic merge needs, no matter which worker ran what when.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(Vec<u32>);
+
+impl TaskId {
+    fn initial(i: u32) -> Self {
+        TaskId(vec![i])
+    }
+
+    fn child(&self, j: u32) -> Self {
+        let mut path = self.0.clone();
+        path.push(j);
+        TaskId(path)
+    }
+
+    /// The id as a path of child indices (`[i]` for initial task `i`).
+    pub fn path(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+/// One schedulable unit of the decomposition: a contiguous range of first-output
+/// roots, plus — for a task resuming a root its parent suspended inside — the index
+/// of the first root's first unowned decision. Produced by [`initial_tasks`] and by
+/// [`run_task`] (children of a suspended task); pure data, freely sendable between
+/// workers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskSpec {
+    id: TaskId,
+    roots: Range<usize>,
+    first_root_skip: Option<usize>,
+}
+
+impl TaskSpec {
+    /// The task's deterministic identity (the merge sort key).
+    pub fn id(&self) -> &TaskId {
+        &self.id
+    }
+
+    /// Child tasks covering exactly the work left untouched at `suspend`: the
+    /// remainder of a partially explored root first (it precedes later roots in the
+    /// serial order), then the untouched roots split in halves so the task tree stays
+    /// shallow. Ids extend this task's id in emission order.
+    fn children(&self, suspend: SuspendPoint) -> Vec<TaskSpec> {
+        let mut parts: Vec<(Range<usize>, Option<usize>)> = Vec::new();
+        match suspend {
+            SuspendPoint::AtRoot { next } => split_roots(next..self.roots.end, &mut parts),
+            SuspendPoint::InRoot {
+                root,
+                next_decision,
+            } => {
+                parts.push((root..root + 1, Some(next_decision)));
+                split_roots(root + 1..self.roots.end, &mut parts);
+            }
+        }
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(j, (roots, first_root_skip))| TaskSpec {
+                id: self.id.child(j as u32),
+                roots,
+                first_root_skip,
+            })
+            .collect()
+    }
+}
+
+/// Splits a root range into at most two non-empty halves (none if it is empty).
+fn split_roots(range: Range<usize>, parts: &mut Vec<(Range<usize>, Option<usize>)>) {
+    match range.len() {
+        0 => {}
+        1 => parts.push((range, None)),
+        len => {
+            let mid = range.start + len / 2;
+            parts.push((range.start..mid, None));
+            parts.push((mid..range.end, None));
+        }
+    }
+}
+
+/// What one task produced; feed the outputs of a completed decomposition, sorted by
+/// [`TaskId`], to [`merge_tasks_sharded`]. Opaque: the classification log inside is
+/// an implementation detail of the merge.
 pub struct TaskOutput {
     harvest: TaskHarvest,
 }
@@ -79,27 +197,84 @@ impl TaskOutput {
     }
 }
 
-/// Splits `candidate_count` first-output candidates into `tasks` contiguous ranges
-/// covering `0..candidate_count` in order (the partition [`merge_tasks`] expects).
-/// Ranges differ in length by at most one; with more tasks than candidates the excess
-/// ranges are empty.
+/// Splits `candidate_count` first-output candidates into at most `tasks` contiguous
+/// ranges covering `0..candidate_count` in order (the partition the merge expects).
+/// Ranges differ in length by at most one, and every returned range is **non-empty**:
+/// with more tasks than candidates the excess ranges are skipped rather than turned
+/// into degenerate scheduled tasks, so the returned vector may be shorter than
+/// `tasks` (and empty when `candidate_count` is zero).
 ///
 /// # Example
 ///
 /// ```
 /// let ranges = ise_enum::par::task_ranges(10, 4);
 /// assert_eq!(ranges, vec![0..2, 2..5, 5..7, 7..10]);
+/// assert_eq!(ise_enum::par::task_ranges(2, 4), vec![0..1, 1..2]);
 /// ```
 pub fn task_ranges(candidate_count: usize, tasks: usize) -> Vec<Range<usize>> {
     let tasks = tasks.max(1);
     (0..tasks)
         .map(|i| (i * candidate_count / tasks)..((i + 1) * candidate_count / tasks))
+        .filter(|range| !range.is_empty())
         .collect()
 }
 
+/// The initial (pre-splitting) task specs of a decomposition into `tasks` contiguous
+/// root ranges: one spec per non-empty range of [`task_ranges`], with ids `[0]`,
+/// `[1]`, … in range order.
+pub fn initial_tasks(candidate_count: usize, tasks: usize) -> Vec<TaskSpec> {
+    task_ranges(candidate_count, tasks)
+        .into_iter()
+        .enumerate()
+        .map(|(i, roots)| TaskSpec {
+            id: TaskId::initial(i as u32),
+            roots,
+            first_root_skip: None,
+        })
+        .collect()
+}
+
+/// Runs one task of the decomposition: the serial engine over the subtrees rooted at
+/// `ctx.candidate_outputs()[spec.roots]` (minus any decision prefix owned by the
+/// task's ancestors), suspending once the search exceeds `split_threshold` nodes.
+/// Returns the task's output plus the child tasks covering whatever the suspension
+/// left untouched (empty when the task ran to completion).
+///
+/// Pure function of its arguments — workers can run tasks in any order on any thread
+/// — and zero-waste: a suspended task keeps everything it explored, so the total work
+/// across a task tree equals the serial run's exactly.
+pub fn run_task(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    options: &EngineOptions,
+    split_threshold: Option<usize>,
+    spec: &TaskSpec,
+) -> (TaskOutput, Vec<TaskSpec>) {
+    let mut enumerator = IncrementalEnumerator::with_root_range(ctx, pruning, spec.roots.clone());
+    enumerator.set_task_split(split_threshold, spec.first_root_skip);
+    let mut state = SearchState::new(ctx, constraints, options.max_search_nodes, options.strategy);
+    state.set_dedup_mode(options.dedup_mode);
+    if merge_uses_class_log(options) {
+        state.enable_class_log();
+    }
+    crate::engine::Enumerator::search(&mut enumerator, &mut state);
+    let children = match enumerator.take_suspension() {
+        Some(suspend) => spec.children(suspend),
+        None => Vec::new(),
+    };
+    (
+        TaskOutput {
+            harvest: state.finish_task(),
+        },
+        children,
+    )
+}
+
 /// Runs the serial engine over the first-output subtrees rooted at
-/// `ctx.candidate_outputs()[roots]` — one task of the decomposition. Pure function of
-/// its arguments; tasks of a partition can run on any threads in any order.
+/// `ctx.candidate_outputs()[roots]` — one task of a static (non-splitting)
+/// decomposition. Pure function of its arguments; tasks of a partition can run on any
+/// threads in any order.
 pub fn run_root_task(
     ctx: &EnumContext,
     constraints: &Constraints,
@@ -107,16 +282,12 @@ pub fn run_root_task(
     options: &EngineOptions,
     roots: Range<usize>,
 ) -> TaskOutput {
-    let mut enumerator = IncrementalEnumerator::with_root_range(ctx, pruning, roots);
-    let mut state = SearchState::new(ctx, constraints, options.max_search_nodes, options.strategy);
-    state.set_dedup_mode(options.dedup_mode);
-    if merge_uses_class_log(options) {
-        state.enable_class_log();
-    }
-    crate::engine::Enumerator::search(&mut enumerator, &mut state);
-    TaskOutput {
-        harvest: state.finish_task(),
-    }
+    let spec = TaskSpec {
+        id: TaskId::initial(0),
+        roots,
+        first_root_skip: None,
+    };
+    run_task(ctx, constraints, pruning, options, None, &spec).0
 }
 
 /// Whether the merge replays per-task classification logs (dedup-first incremental
@@ -125,22 +296,126 @@ fn merge_uses_class_log(options: &EngineOptions) -> bool {
     options.dedup_mode == DedupMode::DedupFirst && options.strategy == BodyStrategy::Incremental
 }
 
-/// Merges the outputs of a full task partition (in range order) into one
-/// [`Enumeration`].
+/// A work-stealing scheduler over per-worker deques; `std`-only.
 ///
-/// The merge replays each task's first-seen candidates, in task order, against a
-/// global seen-set: a candidate already seen by an earlier task is re-counted as a
-/// duplicate exactly as the serial seen-set would have counted it, and everything
-/// else replays its recorded classification. For unbudgeted runs the result — cut
-/// list order included — is byte-identical to the serial run.
+/// Each worker owns one deque. [`pop`](Self::pop) serves the worker's own newest item
+/// first (LIFO — freshly split children, still warm in cache) and, when the own deque
+/// is empty, steals the *oldest* item from a peer (FIFO — the oldest items are the
+/// coarsest, so a steal moves the most work per lock acquisition). An atomic
+/// in-flight count covering queued *and* running items gives exact termination:
+/// `pop` returns `None` only when nothing is queued anywhere and no running item can
+/// spawn more children.
+///
+/// The pool schedules; it never sequences results. Users tag items with their own
+/// deterministic order (the enumeration tasks carry a [`TaskId`]) and sort after the
+/// pool drains.
+pub struct WorkStealPool<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    in_flight: AtomicUsize,
+}
+
+impl<T> WorkStealPool<T> {
+    /// A pool with one deque per worker.
+    pub fn new(workers: usize) -> Self {
+        WorkStealPool {
+            queues: (0..workers.max(1)).map(|_| Mutex::default()).collect(),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Distributes initial items round-robin across the worker deques.
+    pub fn seed<I: IntoIterator<Item = T>>(&self, items: I) {
+        for (i, item) in items.into_iter().enumerate() {
+            self.in_flight.fetch_add(1, Ordering::AcqRel);
+            let queue = &self.queues[i % self.queues.len()];
+            queue.lock().expect("pool lock poisoned").push_back(item);
+        }
+    }
+
+    /// Enqueues an item produced while processing another one onto `worker`'s own
+    /// deque. Must be called *before* the producing item's [`done`](Self::done), so
+    /// the in-flight count never drops to zero while work remains.
+    pub fn push(&self, worker: usize, item: T) {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.queues[worker]
+            .lock()
+            .expect("pool lock poisoned")
+            .push_back(item);
+    }
+
+    /// Next item for `worker`: its own deque first (newest), then stealing the oldest
+    /// item from a peer. Blocks (spinning with `yield_now`) while other workers still
+    /// process items that may split; returns `None` only when everything is done.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        loop {
+            if let Some(item) = self.queues[worker]
+                .lock()
+                .expect("pool lock poisoned")
+                .pop_back()
+            {
+                return Some(item);
+            }
+            let n = self.queues.len();
+            for offset in 1..n {
+                let victim = &self.queues[(worker + offset) % n];
+                if let Some(item) = victim.lock().expect("pool lock poisoned").pop_front() {
+                    return Some(item);
+                }
+            }
+            if self.in_flight.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Marks one popped item fully processed. Call after pushing any children the
+    /// item spawned.
+    pub fn done(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Merges the outputs of a completed decomposition (sorted by [`TaskId`], which
+/// [`parallel_cuts`] and the CLI scheduler do after draining the pool) into one
+/// [`Enumeration`], exactly like [`merge_tasks_sharded`] with one merge thread.
 pub fn merge_tasks(
     ctx: &EnumContext,
     options: &EngineOptions,
     outputs: Vec<TaskOutput>,
 ) -> Enumeration {
+    merge_tasks_sharded(ctx, options, outputs, 1)
+}
+
+/// Merges the outputs of a completed decomposition (in [`TaskId`] order) into one
+/// [`Enumeration`] via the sharded, parallel-reducible replay.
+///
+/// Conceptually the merge replays each task's first-seen candidates, in task order,
+/// against a global seen-set: a candidate an earlier task (or an earlier entry of the
+/// same task) already claimed is re-counted as a duplicate exactly as the serial
+/// seen-set would have counted it, and everything else replays its recorded
+/// classification. The implementation splits that replay by key hash into 16
+/// independent shards reduced in parallel (up to `threads` at a time), then emits
+/// cuts and statistics in one ordered, hash-free pass. Equal keys
+/// share a shard and shard-local order preserves task order, so the verdicts — and
+/// the output bytes, cut list order included — match the serial replay for every
+/// `threads` value. For unbudgeted runs the result is byte-identical to the serial
+/// enumeration.
+pub fn merge_tasks_sharded(
+    ctx: &EnumContext,
+    options: &EngineOptions,
+    outputs: Vec<TaskOutput>,
+    threads: usize,
+) -> Enumeration {
     let mut stats = EnumStats::new();
     // Counters independent of de-duplication are plain sums: the tasks partition the
-    // serial top-level loop, and nothing below it reads the seen-set.
+    // serial traversal (recursive splits suspend and resume at decision boundaries
+    // without re-counting), and nothing below the top level reads the seen-set.
     for out in &outputs {
         let s = out.harvest.stats;
         stats.candidates_checked += s.candidates_checked;
@@ -156,18 +431,25 @@ pub fn merge_tasks(
     }
 
     let stride = ctx.rooted().num_nodes().div_ceil(64);
-    let mut seen = CutKeySet::new(stride);
     let mut cuts = Vec::new();
     if merge_uses_class_log(options) {
-        // Dedup-first: replay every first-seen key with its recorded classification.
-        // Keys an earlier task already claimed become duplicates, exactly as the
-        // serial run would have counted them at that point of its discovery order.
-        for out in outputs {
+        // Dedup-first: shard-reduce the first-seen/duplicate verdicts, then replay
+        // every entry with its recorded classification in task order. Keys an earlier
+        // task already claimed become duplicates, exactly as the serial run would
+        // have counted them at that point of its discovery order.
+        let lens: Vec<usize> = outputs.iter().map(|o| o.harvest.seen.len()).collect();
+        let duplicate = duplicate_flags(
+            &lens,
+            stride,
+            |t, e| outputs[t].harvest.seen.key(e),
+            threads,
+        );
+        for (t, out) in outputs.into_iter().enumerate() {
             let harvest = out.harvest;
             debug_assert_eq!(harvest.seen.len(), harvest.classes.len());
             let mut cut_iter = harvest.cuts.into_iter();
             for (idx, &class) in harvest.classes.iter().enumerate() {
-                if seen.insert(harvest.seen.key(idx)) {
+                if !duplicate[t][idx] {
                     CandidateClass::replay(class, &mut stats);
                     if class == CandidateClass::VALID {
                         cuts.push(cut_iter.next().expect("one cut per VALID entry"));
@@ -185,7 +467,7 @@ pub fn merge_tasks(
     } else {
         // Validate-first (and legacy rebuild): rejections are counted per occurrence
         // in serial runs too, so they stay plain sums; only the valid cuts need
-        // global de-duplication by body key.
+        // global de-duplication by body key — shard-reduced the same way.
         for out in &outputs {
             let s = out.harvest.stats;
             stats.rejected_forbidden += s.rejected_forbidden;
@@ -193,9 +475,16 @@ pub fn merge_tasks(
             stats.rejected_disconnected += s.rejected_disconnected;
             stats.rejected_depth += s.rejected_depth;
         }
-        for out in outputs {
-            for cut in out.harvest.cuts {
-                if seen.insert(cut.body().words()) {
+        let lens: Vec<usize> = outputs.iter().map(|o| o.harvest.cuts.len()).collect();
+        let duplicate = duplicate_flags(
+            &lens,
+            stride,
+            |t, c| outputs[t].harvest.cuts[c].body().words(),
+            threads,
+        );
+        for (t, out) in outputs.into_iter().enumerate() {
+            for (c, cut) in out.harvest.cuts.into_iter().enumerate() {
+                if !duplicate[t][c] {
                     stats.valid_cuts += 1;
                     cuts.push(cut);
                 } else {
@@ -207,10 +496,110 @@ pub fn merge_tasks(
     Enumeration { cuts, stats }
 }
 
-/// Splits the search into [`ParConfig::tasks`] first-output tasks, runs them on
-/// [`ParConfig::threads`] worker threads pulling from an atomic cursor, and merges.
-/// For unbudgeted runs the result equals [`crate::incremental_cuts_opts`] exactly
-/// (cuts and statistics); thread count never changes it.
+/// Computes, for every `(task, entry)` key of a task sequence, whether it duplicates
+/// an earlier key — an earlier entry of the same task or any entry of an earlier task
+/// — using [`MERGE_SHARDS`] hash-striped seen-set shards reduced independently (in
+/// parallel when `threads > 1`).
+///
+/// Determinism: equal keys hash equally and therefore meet in the same shard, and
+/// each shard inserts its keys in `(task, entry)` order — the serial replay order
+/// restricted to that shard — so the first-seen verdicts are exactly the serial
+/// ones regardless of which thread reduced which shard.
+fn duplicate_flags<'a, F>(
+    lens: &[usize],
+    stride: usize,
+    key_of: F,
+    threads: usize,
+) -> Vec<Vec<bool>>
+where
+    F: Fn(usize, usize) -> &'a [u64] + Sync,
+{
+    let tasks = lens.len();
+    // Phase 1: hash every key once, in parallel over tasks; the hash routes the key
+    // to its shard (top four bits) and seeds the shard's probe table (low bits).
+    let hash_slots: Vec<OnceLock<Vec<u64>>> = (0..tasks).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let hash_workers = threads.clamp(1, tasks.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..hash_workers {
+            scope.spawn(|| loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks {
+                    break;
+                }
+                let hashes: Vec<u64> = (0..lens[t])
+                    .map(|e| CutKeySet::hash_key(key_of(t, e)))
+                    .collect();
+                assert!(
+                    hash_slots[t].set(hashes).is_ok(),
+                    "each hash slot is filled exactly once"
+                );
+            });
+        }
+    });
+    let hashes: Vec<&Vec<u64>> = hash_slots
+        .iter()
+        .map(|slot| slot.get().expect("every hash slot filled"))
+        .collect();
+
+    // Phase 2: per-shard replay. Each shard walks the entries it owns in (task,
+    // entry) order against its own seen-set and records the duplicates.
+    let dup_slots: Vec<OnceLock<Vec<(u32, u32)>>> =
+        (0..MERGE_SHARDS).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let shard_workers = threads.clamp(1, MERGE_SHARDS);
+    std::thread::scope(|scope| {
+        for _ in 0..shard_workers {
+            scope.spawn(|| loop {
+                let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                if shard >= MERGE_SHARDS {
+                    break;
+                }
+                let mut seen = CutKeySet::new(stride);
+                let mut duplicates = Vec::new();
+                for (t, task_hashes) in hashes.iter().enumerate() {
+                    for (e, &hash) in task_hashes.iter().enumerate() {
+                        if (hash >> 60) as usize == shard
+                            && !seen.insert_prehashed(key_of(t, e), hash)
+                        {
+                            duplicates.push((t as u32, e as u32));
+                        }
+                    }
+                }
+                assert!(
+                    dup_slots[shard].set(duplicates).is_ok(),
+                    "each shard slot is filled exactly once"
+                );
+            });
+        }
+    });
+
+    // Phase 3: scatter the (sparse) duplicate verdicts into per-task flag vectors for
+    // the ordered emit pass.
+    let mut flags: Vec<Vec<bool>> = lens.iter().map(|&len| vec![false; len]).collect();
+    for slot in dup_slots {
+        for (t, e) in slot.into_inner().expect("every shard slot filled") {
+            flags[t as usize][e as usize] = true;
+        }
+    }
+    flags
+}
+
+/// A traced [`parallel_cuts`] run: the merged enumeration plus per-task diagnostics.
+pub struct ParRun {
+    /// The merged result — byte-identical to the serial run when unbudgeted.
+    pub enumeration: Enumeration,
+    /// Per-task `search_nodes`, in deterministic merge ([`TaskId`]) order. Its length
+    /// is the final task count, including recursively split children; the max/mean
+    /// ratio of the values is the load-skew measure the E7 bench reports.
+    pub task_nodes: Vec<usize>,
+}
+
+/// Splits the search into [`ParConfig::tasks`] first-output tasks (recursively
+/// re-split past [`ParConfig::split_threshold`] nodes), runs them on
+/// [`ParConfig::threads`] work-stealing workers, and merges. For unbudgeted runs the
+/// result equals [`crate::incremental_cuts_opts`] exactly (cuts and statistics);
+/// neither thread count nor scheduling order ever changes it.
 ///
 /// # Example
 ///
@@ -242,41 +631,76 @@ pub fn parallel_cuts(
     pruning: &PruningConfig,
     config: &ParConfig,
 ) -> Enumeration {
+    parallel_cuts_traced(ctx, constraints, pruning, config).enumeration
+}
+
+/// [`parallel_cuts`] with per-task diagnostics — the entry point of the E7 scaling
+/// bench, which reports per-task node counts and the load-skew ratio.
+pub fn parallel_cuts_traced(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    config: &ParConfig,
+) -> ParRun {
     let candidates = ctx.candidate_outputs().len();
     let tasks = config.tasks.clamp(1, candidates.max(1));
-    if tasks <= 1 {
-        return incremental_cuts_opts(ctx, constraints, pruning, &config.options);
+    let specs = initial_tasks(candidates, tasks);
+    if specs.is_empty() || (specs.len() == 1 && config.split_threshold.is_none()) {
+        // Degenerate decompositions (no candidates, or a single task with splitting
+        // off) are exactly the serial run; skip the scheduler and the merge replay.
+        let enumeration = incremental_cuts_opts(ctx, constraints, pruning, &config.options);
+        let nodes = enumeration.stats.search_nodes;
+        return ParRun {
+            enumeration,
+            task_nodes: vec![nodes],
+        };
     }
-    let ranges = task_ranges(candidates, tasks);
-    let slots: Vec<OnceLock<TaskOutput>> = (0..tasks).map(|_| OnceLock::new()).collect();
-    let cursor = AtomicUsize::new(0);
-    let workers = config.threads.clamp(1, tasks);
+    // With recursive splitting a single initial task can still fan out, so only the
+    // static decomposition clamps workers to the task count.
+    let workers = match config.split_threshold {
+        Some(_) => config.threads.max(1),
+        None => config.threads.clamp(1, specs.len()),
+    };
+    let pool = WorkStealPool::new(workers);
+    pool.seed(specs);
+    let results: Mutex<Vec<(TaskId, TaskOutput)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let task = cursor.fetch_add(1, Ordering::Relaxed);
-                if task >= tasks {
-                    break;
+        for worker in 0..workers {
+            let pool = &pool;
+            let results = &results;
+            scope.spawn(move || {
+                while let Some(spec) = pool.pop(worker) {
+                    let (output, children) = run_task(
+                        ctx,
+                        constraints,
+                        pruning,
+                        &config.options,
+                        config.split_threshold,
+                        &spec,
+                    );
+                    for child in children {
+                        pool.push(worker, child);
+                    }
+                    results
+                        .lock()
+                        .expect("result lock poisoned")
+                        .push((spec.id, output));
+                    pool.done();
                 }
-                let output = run_root_task(
-                    ctx,
-                    constraints,
-                    pruning,
-                    &config.options,
-                    ranges[task].clone(),
-                );
-                slots[task]
-                    .set(output)
-                    .ok()
-                    .expect("each task slot is filled exactly once");
             });
         }
     });
-    let outputs: Vec<TaskOutput> = slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every task completed"))
+    let mut outputs = results.into_inner().expect("result lock poisoned");
+    outputs.sort_by(|a, b| a.0.cmp(&b.0));
+    let task_nodes = outputs
+        .iter()
+        .map(|(_, out)| out.stats().search_nodes)
         .collect();
-    merge_tasks(ctx, &config.options, outputs)
+    let outputs: Vec<TaskOutput> = outputs.into_iter().map(|(_, out)| out).collect();
+    ParRun {
+        enumeration: merge_tasks_sharded(ctx, &config.options, outputs, config.threads),
+        task_nodes,
+    }
 }
 
 #[cfg(test)]
@@ -314,14 +738,52 @@ mod tests {
     fn task_ranges_partition_the_candidates() {
         for (n, tasks) in [(10, 3), (7, 7), (3, 5), (0, 2), (11, 1)] {
             let ranges = task_ranges(n, tasks);
-            assert_eq!(ranges.len(), tasks.max(1));
+            assert!(
+                ranges.len() <= tasks.max(1),
+                "never more ranges than requested tasks"
+            );
             let mut next = 0;
             for r in &ranges {
+                assert!(!r.is_empty(), "({n}, {tasks}): no empty ranges");
                 assert_eq!(r.start, next);
                 next = r.end;
             }
             assert_eq!(next, n, "ranges must cover 0..{n}");
         }
+    }
+
+    #[test]
+    fn task_ranges_skip_degenerate_fanout() {
+        // More tasks than candidates: one non-empty range per candidate, no empties.
+        assert_eq!(task_ranges(3, 5), vec![0..1, 1..2, 2..3]);
+        assert_eq!(task_ranges(0, 4), vec![]);
+        assert_eq!(initial_tasks(2, 16).len(), 2);
+    }
+
+    #[test]
+    fn work_steal_pool_drains_dynamic_items() {
+        let pool: WorkStealPool<usize> = WorkStealPool::new(3);
+        pool.seed([10, 20, 30]);
+        let drained = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for worker in 0..pool.workers() {
+                let pool = &pool;
+                let drained = &drained;
+                scope.spawn(move || {
+                    while let Some(item) = pool.pop(worker) {
+                        // Items under 10 are "children" spawned dynamically.
+                        if item >= 10 {
+                            pool.push(worker, item / 10);
+                        }
+                        drained.lock().unwrap().push(item);
+                        pool.done();
+                    }
+                });
+            }
+        });
+        let mut seen = drained.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3, 10, 20, 30]);
     }
 
     #[test]
@@ -345,6 +807,57 @@ mod tests {
     }
 
     #[test]
+    fn recursive_splitting_reproduces_the_serial_run_exactly() {
+        let ctx = cross_task_ctx();
+        let constraints = Constraints::new(4, 2).unwrap();
+        let pruning = PruningConfig::all();
+        let serial = incremental_cuts_opts(&ctx, &constraints, &pruning, &EngineOptions::default());
+        for split_threshold in [1, 2, 5, 50] {
+            for tasks in [1, 2, 4] {
+                for threads in [1, 3] {
+                    let mut config = ParConfig::new(tasks, threads);
+                    config.split_threshold = Some(split_threshold);
+                    let run = parallel_cuts_traced(&ctx, &constraints, &pruning, &config);
+                    assert_identical(
+                        &run.enumeration,
+                        &serial,
+                        &format!("split={split_threshold} tasks={tasks} threads={threads}"),
+                    );
+                    assert_eq!(
+                        run.task_nodes.iter().sum::<usize>(),
+                        serial.stats.search_nodes,
+                        "zero-waste splitting: per-task nodes sum to the serial count"
+                    );
+                }
+            }
+        }
+        // A tiny threshold must actually exercise splitting.
+        let mut config = ParConfig::new(1, 1);
+        config.split_threshold = Some(1);
+        let run = parallel_cuts_traced(&ctx, &constraints, &pruning, &config);
+        assert!(
+            run.task_nodes.len() > 1,
+            "threshold 1 must split the single initial task"
+        );
+    }
+
+    #[test]
+    fn splitting_is_deterministic_in_the_thread_count() {
+        let ctx = cross_task_ctx();
+        let constraints = Constraints::new(4, 2).unwrap();
+        let pruning = PruningConfig::all();
+        let mut plans = Vec::new();
+        for threads in [1, 2, 8] {
+            let mut config = ParConfig::new(2, threads);
+            config.split_threshold = Some(3);
+            let run = parallel_cuts_traced(&ctx, &constraints, &pruning, &config);
+            plans.push(run.task_nodes);
+        }
+        assert_eq!(plans[0], plans[1], "split plan must not depend on threads");
+        assert_eq!(plans[0], plans[2], "split plan must not depend on threads");
+    }
+
+    #[test]
     fn merge_handles_every_dedup_mode_and_strategy() {
         let ctx = cross_task_ctx();
         let constraints = Constraints::new(3, 2).unwrap();
@@ -360,10 +873,40 @@ mod tests {
                 dedup_mode,
             };
             let serial = incremental_cuts_opts(&ctx, &constraints, &pruning, &options);
-            let mut config = ParConfig::new(3, 2);
-            config.options = options;
-            let par = parallel_cuts(&ctx, &constraints, &pruning, &config);
-            assert_identical(&par, &serial, &format!("{dedup_mode:?}/{strategy:?}"));
+            for split_threshold in [None, Some(4)] {
+                let mut config = ParConfig::new(3, 2);
+                config.options = options;
+                config.split_threshold = split_threshold;
+                let par = parallel_cuts(&ctx, &constraints, &pruning, &config);
+                assert_identical(
+                    &par,
+                    &serial,
+                    &format!("{dedup_mode:?}/{strategy:?}/split={split_threshold:?}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_merge_is_thread_count_invariant() {
+        let ctx = cross_task_ctx();
+        let constraints = Constraints::new(4, 2).unwrap();
+        let pruning = PruningConfig::all();
+        let options = EngineOptions::default();
+        let run = |merge_threads: usize| {
+            let outputs: Vec<TaskOutput> = initial_tasks(ctx.candidate_outputs().len(), 3)
+                .iter()
+                .map(|spec| run_task(&ctx, &constraints, &pruning, &options, None, spec).0)
+                .collect();
+            merge_tasks_sharded(&ctx, &options, outputs, merge_threads)
+        };
+        let serial_merge = run(1);
+        for merge_threads in [2, 8] {
+            assert_identical(
+                &run(merge_threads),
+                &serial_merge,
+                &format!("merge threads={merge_threads}"),
+            );
         }
     }
 
@@ -406,5 +949,34 @@ mod tests {
                 Some(first) => assert_identical(&run, first, "budgeted determinism"),
             }
         }
+    }
+
+    #[test]
+    fn budget_exhaustion_suppresses_splitting() {
+        // A budget below the split threshold truncates tasks before they can split:
+        // the run must behave exactly like the pre-splitting implementation.
+        let ctx = cross_task_ctx();
+        let constraints = Constraints::new(4, 2).unwrap();
+        let pruning = PruningConfig::all();
+        let options = EngineOptions {
+            max_search_nodes: Some(10),
+            ..EngineOptions::default()
+        };
+        let mut plain = ParConfig::new(2, 1);
+        plain.options = options;
+        let mut split = plain.clone();
+        split.split_threshold = Some(10_000);
+        let base = parallel_cuts_traced(&ctx, &constraints, &pruning, &plain);
+        let with_split = parallel_cuts_traced(&ctx, &constraints, &pruning, &split);
+        assert_identical(
+            &with_split.enumeration,
+            &base.enumeration,
+            "budget wins over splitting",
+        );
+        assert_eq!(
+            with_split.task_nodes.len(),
+            base.task_nodes.len(),
+            "no children under an exhausted budget"
+        );
     }
 }

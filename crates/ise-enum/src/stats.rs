@@ -100,6 +100,68 @@ impl EnumStats {
     }
 }
 
+/// Load-balance summary of a task decomposition: how evenly the per-task
+/// `search_nodes` counts spread over the tasks of one parallel run.
+///
+/// The headline number is [`skew_ratio`](Self::skew_ratio) = max / mean. A perfectly
+/// balanced fan-out scores 1.0; a single-split fan-out whose heaviest first-output
+/// subtree dwarfs the rest scores close to the task count (one task owns nearly
+/// everything) — the tail-serialization pathology recursive task splitting removes.
+/// The E7 scaling bench records this per row.
+///
+/// # Example
+///
+/// ```
+/// use ise_enum::TaskLoadSummary;
+///
+/// let balanced = TaskLoadSummary::from_task_nodes(&[100, 100, 100, 100]);
+/// assert_eq!(balanced.skew_ratio(), 1.0);
+/// let skewed = TaskLoadSummary::from_task_nodes(&[970, 10, 10, 10]);
+/// assert!(skewed.skew_ratio() > 3.8);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TaskLoadSummary {
+    /// Number of tasks summarized.
+    pub tasks: usize,
+    /// Search nodes of the heaviest task.
+    pub max_nodes: usize,
+    /// Search nodes summed over all tasks.
+    pub total_nodes: usize,
+}
+
+impl TaskLoadSummary {
+    /// Summarizes the per-task `search_nodes` counts of one decomposition (the
+    /// `task_nodes` of a traced parallel run).
+    pub fn from_task_nodes(task_nodes: &[usize]) -> Self {
+        TaskLoadSummary {
+            tasks: task_nodes.len(),
+            max_nodes: task_nodes.iter().copied().max().unwrap_or(0),
+            total_nodes: task_nodes.iter().sum(),
+        }
+    }
+
+    /// Mean search nodes per task (0.0 for an empty decomposition).
+    pub fn mean_nodes(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            self.total_nodes as f64 / self.tasks as f64
+        }
+    }
+
+    /// Load skew: heaviest task over mean task (1.0 = perfectly balanced; the
+    /// wall-clock floor of the decomposition is `max_nodes`, so lower is better).
+    /// Returns 0.0 for an empty or all-zero decomposition.
+    pub fn skew_ratio(&self) -> f64 {
+        let mean = self.mean_nodes();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_nodes as f64 / mean
+        }
+    }
+}
+
 impl AddAssign for EnumStats {
     fn add_assign(&mut self, rhs: EnumStats) {
         self.valid_cuts += rhs.valid_cuts;

@@ -15,7 +15,7 @@
 //! let blocks = ise_workloads::export::standard_export(42);
 //! assert!(blocks.len() >= 20);
 //! // Every family is represented.
-//! for family in ["tree", "random-dag", "mibench-like", "expr"] {
+//! for family in ["tree", "random-dag", "skewed-dag", "mibench-like", "expr"] {
 //!     assert!(blocks.iter().any(|b| b.family == family), "missing {family}");
 //! }
 //! ```
@@ -25,6 +25,7 @@ use ise_graph::Dfg;
 use crate::expr::compile_block;
 use crate::mibench_like::{generate_block, MiBenchLikeConfig};
 use crate::random_dag::{random_dag, RandomDagConfig};
+use crate::skewed_dag::{skewed_dag, SkewedDagConfig};
 use crate::tree::{TreeDfgBuilder, TreeOrientation};
 
 /// One block of the standard export: a graph plus the provenance metadata that the
@@ -94,6 +95,22 @@ pub fn standard_export(seed: u64) -> Vec<ExportBlock> {
             ]),
         });
     }
+
+    // The load-skew worst case for count-balanced task fan-out: one dense
+    // forbidden-free ALU blob (all the enumeration work) amid trivial chains (all
+    // the candidate padding). The committed block exercising recursive task
+    // splitting in CI and the E7 skew study; kept modest so unbudgeted runs stay
+    // fast.
+    let skew_cfg = SkewedDagConfig::new(24, 24);
+    blocks.push(ExportBlock {
+        family: "skewed-dag",
+        dfg: skewed_dag(&skew_cfg, seed),
+        meta: meta(&[
+            ("seed", seed.to_string()),
+            ("heavy_nodes", "24".to_string()),
+            ("chains", "24".to_string()),
+        ]),
+    });
 
     // MiBench-like kernels: all three size clusters of the §6 evaluation. The large
     // blocks get a denser memory mix — as in real unrolled kernels — which partitions

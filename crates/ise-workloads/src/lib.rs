@@ -13,6 +13,8 @@
 //!   memory-operation density, used for the scaling study;
 //! * [`mibench_like`] — a MiBench-like basic-block generator and the 250-block suite
 //!   with the paper's size clusters;
+//! * [`skewed_dag`](mod@skewed_dag) — one dense ALU blob amid trivial chains, the
+//!   load-skew worst case for count-balanced task fan-out (the E7 splitting study);
 //! * [`expr`] — a tiny straight-line-code frontend that compiles expression statements
 //!   into data-flow graphs, used by the examples;
 //! * [`export`] — the standard corpus export: a diverse selection from every family
@@ -41,10 +43,12 @@ pub mod export;
 pub mod expr;
 pub mod mibench_like;
 pub mod random_dag;
+pub mod skewed_dag;
 pub mod tree;
 
 pub use export::{standard_export, ExportBlock};
 pub use expr::compile_block;
 pub use mibench_like::{generate_block, suite, MiBenchLikeConfig, SizeCluster, SuiteBlock};
 pub use random_dag::{random_dag, RandomDagConfig};
+pub use skewed_dag::{skewed_dag, SkewedDagConfig};
 pub use tree::TreeDfgBuilder;

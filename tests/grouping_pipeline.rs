@@ -76,6 +76,7 @@ fn grouping_report_is_thread_count_and_memo_invariant() {
         threads,
         budget: Some(BUDGET),
         par_threshold: 64,
+        split_threshold: Some(ise_repro::ise_cli::batch::DEFAULT_SPLIT_THRESHOLD),
         dedup_mode: DedupMode::DedupFirst,
         select: false,
         elapsed: Duration::ZERO,

@@ -5,15 +5,16 @@
 //! argument that first-output subtrees are independent and the merge replays the
 //! serial de-duplication order.
 
-use ise_repro::ise_enum::par::{parallel_cuts, ParConfig};
+use ise_repro::ise_enum::par::{parallel_cuts, parallel_cuts_traced, ParConfig};
 use ise_repro::ise_enum::{
     incremental_cuts_opts, Constraints, Cut, CutKey, DedupMode, EngineOptions, EnumContext,
-    Enumeration, PruningConfig,
+    Enumeration, PruningConfig, TaskLoadSummary,
 };
 use ise_repro::ise_graph::Dfg;
 use ise_repro::ise_workloads::compile_block;
 use ise_repro::ise_workloads::mibench_like::{generate_block, MiBenchLikeConfig};
 use ise_repro::ise_workloads::random_dag::{random_dag, RandomDagConfig};
+use ise_repro::ise_workloads::skewed_dag::{skewed_dag, SkewedDagConfig};
 use ise_repro::ise_workloads::tree::{TreeDfgBuilder, TreeOrientation};
 
 /// One small graph per workload family (kept tiny: the full test sweeps 64 pruning
@@ -130,4 +131,80 @@ fn more_tasks_than_candidates_is_harmless() {
     let par = parallel_cuts(&ctx, &constraints, &pruning, &ParConfig::new(1000, 8));
     assert_eq!(par.stats, serial.stats);
     assert_eq!(keys(&par), keys(&serial));
+}
+
+/// Recursive task splitting: parallel ≡ serial — statistics included — for every
+/// (split-threshold, tasks, threads) combination, per family. The low thresholds
+/// force deep recursive splits (threshold 1 suspends at every decision level), so
+/// this pins the resume counter-bookkeeping, the child-id ordering and the sharded
+/// merge at once.
+#[test]
+fn recursive_splitting_equals_serial_across_the_grid() {
+    for dfg in family_graphs() {
+        let name = dfg.name().to_string();
+        let ctx = EnumContext::new(dfg);
+        let constraints = Constraints::new(3, 2).unwrap();
+        let pruning = PruningConfig::all();
+        let serial = incremental_cuts_opts(&ctx, &constraints, &pruning, &EngineOptions::default());
+        for split_threshold in [1usize, 3, 20, 1_000_000] {
+            for tasks in [1usize, 2, 5] {
+                for threads in [1usize, 3] {
+                    let mut config = ParConfig::new(tasks, threads);
+                    config.split_threshold = Some(split_threshold);
+                    let par = parallel_cuts(&ctx, &constraints, &pruning, &config);
+                    assert_eq!(
+                        par.stats, serial.stats,
+                        "`{name}` split={split_threshold} tasks={tasks} threads={threads}: stats"
+                    );
+                    assert_eq!(
+                        keys(&par),
+                        keys(&serial),
+                        "`{name}` split={split_threshold} tasks={tasks} threads={threads}: cuts"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The skewed-DAG workload exists to make count-balanced fan-out pathological: a
+/// forced low threshold must actually split (more final tasks than initial ones),
+/// collapse the task-load skew, and still reproduce the serial bytes exactly.
+#[test]
+fn forced_splitting_on_the_skewed_block_splits_and_stays_exact() {
+    let dfg = skewed_dag(&SkewedDagConfig::new(24, 24), 42);
+    let ctx = EnumContext::new(dfg);
+    let constraints = Constraints::new(4, 2).unwrap();
+    let pruning = PruningConfig::all();
+    let serial = incremental_cuts_opts(&ctx, &constraints, &pruning, &EngineOptions::default());
+
+    let static_run = parallel_cuts_traced(&ctx, &constraints, &pruning, &ParConfig::new(8, 2));
+    let static_skew = TaskLoadSummary::from_task_nodes(&static_run.task_nodes).skew_ratio();
+    assert!(
+        static_skew > 2.0,
+        "the workload must skew a count-balanced fan-out, got {static_skew:.2}"
+    );
+
+    let mut config = ParConfig::new(8, 2);
+    config.split_threshold = Some(10_000);
+    let split_run = parallel_cuts_traced(&ctx, &constraints, &pruning, &config);
+    assert!(
+        split_run.task_nodes.len() > static_run.task_nodes.len(),
+        "a 10k-node threshold must split the heavy ranges"
+    );
+    let split_skew = TaskLoadSummary::from_task_nodes(&split_run.task_nodes).skew_ratio();
+    assert!(
+        split_skew < static_skew,
+        "splitting must reduce the skew ({static_skew:.2} -> {split_skew:.2})"
+    );
+    // The real prize is the wall-clock floor: the heaviest task must shrink by far
+    // more than the split-off overhead costs.
+    let static_max = static_run.task_nodes.iter().max().copied().unwrap_or(0);
+    let split_max = split_run.task_nodes.iter().max().copied().unwrap_or(0);
+    assert!(
+        split_max * 4 < static_max,
+        "splitting must collapse the heaviest task ({static_max} -> {split_max})"
+    );
+    assert_eq!(split_run.enumeration.stats, serial.stats);
+    assert_eq!(keys(&split_run.enumeration), keys(&serial));
 }
