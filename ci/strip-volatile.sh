@@ -12,6 +12,9 @@
 #   tasks            task decomposition size — ditto
 #   cached           serve envelope: hit/miss flag, differs cold vs warm by design
 #   elapsed_ms       serve envelope: wall-clock latency
+#   elapsed_us       serve envelope: the same latency in microseconds
+#   obs              stats payload: the metrics-registry snapshot (counters and
+#                    timings move with load; the flat object is stripped whole)
 #
 # Usage: ci/strip-volatile.sh [FILE...]   (reads stdin when no file is given)
 set -eu
@@ -22,4 +25,6 @@ sed -e 's/"[a-z_]*_seconds":[0-9.e-]*//g' \
     -e 's/"tasks":[0-9]*//g' \
     -e 's/"cached":[a-z]*//g' \
     -e 's/"elapsed_ms":[0-9.e-]*//g' \
+    -e 's/"elapsed_us":[0-9.e-]*//g' \
+    -e 's/"obs":{[^}]*}//g' \
     "$@"

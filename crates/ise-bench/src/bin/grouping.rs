@@ -225,6 +225,7 @@ fn main() {
     if out_path != "-" {
         let doc = Json::object([
             ("schema", Json::str("ise-bench/grouping/v2")),
+            ("meta", ise_bench::bench_meta("disabled")),
             ("corpus", Json::str(corpus)),
             ("nin", Json::uint(nin)),
             ("nout", Json::uint(nout)),

@@ -1,0 +1,37 @@
+//! Validates that a file parses as JSON with the workspace's own parser
+//! (`ise_bench::json`) — the CI-side checker for machine-readable artifacts such
+//! as `--trace-out` Chrome traces and `BENCH_*.json` documents, with no external
+//! tooling (`jq`, python) required on the runner.
+//!
+//! Usage: `json_check FILE [FILE...] [require=KEY]`. Exits non-zero on the first
+//! file that does not parse, or (with `require=KEY`) whose top-level object lacks
+//! `KEY`. Prints one `ok` line per validated file.
+
+use ise_bench::json::Json;
+
+fn main() {
+    let mut required: Option<String> = None;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.strip_prefix("require=") {
+            Some(key) => required = Some(key.to_string()),
+            None => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: json_check FILE [FILE...] [require=KEY]");
+        std::process::exit(2);
+    }
+    for file in &files {
+        let text =
+            std::fs::read_to_string(file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{file} is not valid JSON: {e}"));
+        if let Some(key) = &required {
+            assert!(
+                doc.get(key).is_some(),
+                "{file}: top-level key `{key}` is missing"
+            );
+        }
+        println!("ok {file} ({} bytes)", text.len());
+    }
+}

@@ -243,6 +243,7 @@ fn main() {
             .fold(None::<f64>, |b, s| Some(b.map_or(s, |b| b.max(s))));
         let doc = Json::object([
             ("schema", Json::str("ise-bench/par-scaling/v2")),
+            ("meta", ise_bench::bench_meta("disabled")),
             ("block", Json::str(block.dfg.name().to_string())),
             ("nodes", Json::uint(block.dfg.len())),
             ("edges", Json::uint(block.dfg.edge_count())),

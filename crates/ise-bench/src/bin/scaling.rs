@@ -127,6 +127,7 @@ fn main() {
     if out_path != "-" {
         let doc = Json::object([
             ("schema", Json::str("ise-bench/scaling/v1")),
+            ("meta", ise_bench::bench_meta("disabled")),
             ("seed", Json::UInt(seed)),
             ("max_size", Json::uint(max_size)),
             (

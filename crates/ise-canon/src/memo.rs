@@ -27,6 +27,8 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use ise_obs::{Counter, Recorder};
+
 use crate::canon::{digest_words, CanonicalCode};
 
 /// A snapshot of one memo's counters, reported by `--memo-stats` and the daemon's
@@ -47,6 +49,19 @@ pub struct MemoStats {
     pub labeler_runs: u64,
     /// Distinct raw encodings currently stored.
     pub entries: u64,
+}
+
+impl MemoStats {
+    /// Publishes this snapshot into a metrics registry as gauges
+    /// (`ise_memo_raw_hits`, `ise_memo_fingerprint_hits`, `ise_memo_labeler_runs`,
+    /// `ise_memo_entries`) — the daemon calls this before rendering
+    /// `GET /v1/metrics` so the memo surfaces through the shared registry.
+    pub fn publish(&self, rec: &dyn Recorder) {
+        rec.set_gauge("ise_memo_raw_hits", self.raw_hits);
+        rec.set_gauge("ise_memo_fingerprint_hits", self.fingerprint_hits);
+        rec.set_gauge("ise_memo_labeler_runs", self.labeler_runs);
+        rec.set_gauge("ise_memo_entries", self.entries);
+    }
 }
 
 /// One memoized raw graph: the confirmed key, the cached pattern facts, and any
@@ -121,6 +136,18 @@ pub(crate) struct MemoHit {
 pub struct CanonMemo {
     shards: Box<[Mutex<Shard>]>,
     fingerprint: fn(&[u32]) -> u64,
+    obs: MemoCounters,
+}
+
+/// Live mirror counters into a metrics registry, incremented at the same sites
+/// as the shard-local totals. Disabled (single null-check per event) until
+/// [`CanonMemo::set_recorder`] arms them; [`CanonMemo::stats`] stays the source
+/// of truth either way.
+#[derive(Debug, Default)]
+struct MemoCounters {
+    raw_hits: Counter,
+    fingerprint_hits: Counter,
+    labeler_runs: Counter,
 }
 
 impl Default for CanonMemo {
@@ -153,7 +180,20 @@ impl CanonMemo {
         CanonMemo {
             shards: (0..count).map(|_| Mutex::default()).collect(),
             fingerprint,
+            obs: MemoCounters::default(),
         }
+    }
+
+    /// Arms live mirror counters (`ise_memo_raw_hits_total`,
+    /// `ise_memo_fingerprint_hits_total`, `ise_memo_labeler_runs_total`) in the
+    /// given registry, incremented alongside the shard-local totals. Recording
+    /// never changes lookup results; call before sharing the memo across threads.
+    pub fn set_recorder(&mut self, rec: &dyn Recorder) {
+        self.obs = MemoCounters {
+            raw_hits: rec.counter("ise_memo_raw_hits_total"),
+            fingerprint_hits: rec.counter("ise_memo_fingerprint_hits_total"),
+            labeler_runs: rec.counter("ise_memo_labeler_runs_total"),
+        };
     }
 
     fn shard_for(&self, fingerprint: u64) -> &Mutex<Shard> {
@@ -172,8 +212,10 @@ impl CanonMemo {
         // An absent bucket is a fingerprint miss and counts nowhere.
         let entries = shard.buckets.get(&fingerprint)?;
         shard.fingerprint_hits += 1;
+        self.obs.fingerprint_hits.incr();
         let entry = entries.iter().find(|e| *e.raw == *raw)?;
         shard.raw_hits += 1;
+        self.obs.raw_hits.incr();
         Some(MemoHit {
             code: entry.code.clone(),
             ops: entry.ops.clone(),
@@ -199,6 +241,7 @@ impl CanonMemo {
         let fingerprint = (self.fingerprint)(raw);
         let mut shard = self.shard_for(fingerprint).lock().unwrap();
         shard.labeler_runs += 1;
+        self.obs.labeler_runs.incr();
         let bucket = shard.buckets.entry(fingerprint).or_default();
         match bucket.iter_mut().find(|e| *e.raw == *raw) {
             Some(entry) => {

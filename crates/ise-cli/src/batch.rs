@@ -30,13 +30,15 @@ use std::time::{Duration, Instant};
 
 use ise_corpus::CorpusBlock;
 use ise_enum::par::{
-    initial_tasks, merge_tasks_sharded, run_task, TaskId, TaskOutput, TaskSpec, WorkStealPool,
+    initial_tasks, merge_tasks_sharded_obs, run_task_obs, TaskId, TaskOutput, TaskSpec,
+    WorkStealPool,
 };
 use ise_enum::{
-    incremental_cuts_opts, select_ises, Constraints, DedupMode, EngineOptions, EnumContext,
+    incremental_cuts_obs, select_ises, Constraints, DedupMode, EngineOptions, EnumContext,
     Enumeration, PruningConfig, Selection,
 };
 use ise_graph::{Dfg, LatencyModel};
+use ise_obs::Recorder;
 
 /// Blocks with at least this many vertices fan out into first-output tasks by
 /// default (`--par-threshold` overrides).
@@ -212,6 +214,19 @@ type WorkItem = (usize, Option<TaskSpec>);
 /// merge are all deterministic, so the outcomes (sorted by block index) are
 /// identical for every thread count; only the wall times differ.
 pub fn run_batch(blocks: &[CorpusBlock], config: &BatchConfig) -> Vec<BlockOutcome> {
+    run_batch_obs(blocks, config, None)
+}
+
+/// [`run_batch`] with an optional [`Recorder`] observing the run: per-block and
+/// per-task spans, pool counters and phase timings land in the recorder, worker
+/// threads are named `worker-N` for trace grouping. Recording never changes any
+/// outcome — the plan, the split points and the merge are untouched — so
+/// `run_batch(b, c)` and `run_batch_obs(b, c, Some(rec))` report identical counts.
+pub fn run_batch_obs(
+    blocks: &[CorpusBlock],
+    config: &BatchConfig,
+    rec: Option<&dyn Recorder>,
+) -> Vec<BlockOutcome> {
     let plans: Vec<BlockPlan> = blocks.iter().map(|b| plan_block(&b.dfg, config)).collect();
     let slots: Vec<BlockSlot> = plans
         .iter()
@@ -239,7 +254,11 @@ pub fn run_batch(blocks: &[CorpusBlock], config: &BatchConfig) -> Vec<BlockOutco
         .collect();
 
     let workers = config.threads.max(1).min(items.len().max(1));
-    let pool = WorkStealPool::new(workers);
+    let mut pool = WorkStealPool::new(workers);
+    if let Some(rec) = rec {
+        pool.set_recorder(rec);
+    }
+    let pool = pool;
     pool.seed(items);
     std::thread::scope(|scope| {
         for worker in 0..workers {
@@ -247,6 +266,9 @@ pub fn run_batch(blocks: &[CorpusBlock], config: &BatchConfig) -> Vec<BlockOutco
             let plans = &plans;
             let slots = &slots;
             scope.spawn(move || {
+                if let Some(rec) = rec {
+                    rec.set_thread_name(&format!("worker-{worker}"));
+                }
                 while let Some((block_idx, spec)) = pool.pop(worker) {
                     run_item(
                         &blocks[block_idx],
@@ -257,6 +279,7 @@ pub fn run_batch(blocks: &[CorpusBlock], config: &BatchConfig) -> Vec<BlockOutco
                         config,
                         pool,
                         worker,
+                        rec,
                     );
                     pool.done();
                 }
@@ -286,23 +309,30 @@ fn run_item(
     config: &BatchConfig,
     pool: &WorkStealPool<WorkItem>,
     worker: usize,
+    rec: Option<&dyn Recorder>,
 ) {
     let started = *slot.started.get_or_init(Instant::now);
     let ctx = slot.ctx.get_or_init(|| EnumContext::new(block.dfg.clone()));
     let Some(spec) = spec else {
         // Whole-block item: run the serial engine directly, no merge needed.
-        let enumeration =
-            incremental_cuts_opts(ctx, &config.constraints, &config.pruning, &plan.options);
-        finalize(block, block_idx, 1, slot, config, enumeration, started);
+        let enumeration = incremental_cuts_obs(
+            ctx,
+            &config.constraints,
+            &config.pruning,
+            &plan.options,
+            rec,
+        );
+        finalize(block, block_idx, 1, slot, config, enumeration, started, rec);
         return;
     };
-    let (output, children) = run_task(
+    let (output, children) = run_task_obs(
         ctx,
         &config.constraints,
         &config.pruning,
         &plan.options,
         plan.split_threshold,
         &spec,
+        rec,
     );
     if !children.is_empty() {
         // Register the children before retiring this task, so the block can never
@@ -324,11 +354,21 @@ fn run_item(
         outputs.sort_by(|a, b| a.0.cmp(&b.0));
         let tasks = outputs.len();
         let outputs: Vec<TaskOutput> = outputs.into_iter().map(|(_, out)| out).collect();
-        let enumeration = merge_tasks_sharded(ctx, &plan.options, outputs, config.threads);
-        finalize(block, block_idx, tasks, slot, config, enumeration, started);
+        let enumeration = merge_tasks_sharded_obs(ctx, &plan.options, outputs, config.threads, rec);
+        finalize(
+            block,
+            block_idx,
+            tasks,
+            slot,
+            config,
+            enumeration,
+            started,
+            rec,
+        );
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finalize(
     block: &CorpusBlock,
     index: usize,
@@ -337,6 +377,7 @@ fn finalize(
     config: &BatchConfig,
     enumeration: Enumeration,
     started: Instant,
+    rec: Option<&dyn Recorder>,
 ) {
     let ctx = slot.ctx.get().expect("context built before finalize");
     let selection = config.select.as_ref().map(|sel| {
@@ -363,6 +404,9 @@ fn finalize(
     slot.outcome
         .set(outcome)
         .expect("each block is finalized exactly once");
+    if let Some(rec) = rec {
+        rec.add("ise_batch_blocks_total", 1);
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,24 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl CacheStats {
+    /// Publishes this snapshot into a metrics registry as gauges named
+    /// `ise_cache_<field>{cache="<cache>"}` (e.g.
+    /// `ise_cache_hits{cache="responses"}`) — the daemon routes each of its
+    /// caches' counters through the shared registry this way before rendering
+    /// `GET /v1/metrics`.
+    pub fn publish(&self, rec: &dyn ise_obs::Recorder, cache: &str) {
+        let gauge = |field: &str, value: u64| {
+            rec.set_gauge(&format!("ise_cache_{field}{{cache=\"{cache}\"}}"), value);
+        };
+        gauge("hits", self.hits);
+        gauge("misses", self.misses);
+        gauge("disk_hits", self.disk_hits);
+        gauge("puts", self.puts);
+        gauge("evictions", self.evictions);
+    }
+}
+
 /// A bounded least-recently-used map from string keys to values.
 ///
 /// `get` and `put` both refresh recency; inserting beyond the capacity evicts the
@@ -260,6 +278,15 @@ pub struct FlightStats {
     /// Times a caller joined an existing flight and waited for its leader's
     /// outcome instead of computing — the work the coalescing saved.
     pub coalesced: u64,
+}
+
+impl FlightStats {
+    /// Publishes this snapshot into a metrics registry as gauges
+    /// (`ise_flight_leaders`, `ise_flight_coalesced`).
+    pub fn publish(&self, rec: &dyn ise_obs::Recorder) {
+        rec.set_gauge("ise_flight_leaders", self.leaders);
+        rec.set_gauge("ise_flight_coalesced", self.coalesced);
+    }
 }
 
 /// One in-flight computation: the slot followers block on until the leader

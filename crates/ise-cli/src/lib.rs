@@ -64,6 +64,7 @@ mod args;
 pub mod batch;
 pub mod cache;
 pub mod group;
+pub mod obs;
 pub mod report;
 pub mod serve;
 
@@ -78,7 +79,7 @@ use ise_corpus::{load_corpus_path, CorpusError};
 use ise_enum::{Constraints, DedupMode, PruningConfig};
 
 use batch::{
-    run_batch, BatchConfig, SelectionConfig, DEFAULT_PAR_THRESHOLD, DEFAULT_SPLIT_THRESHOLD,
+    run_batch_obs, BatchConfig, SelectionConfig, DEFAULT_PAR_THRESHOLD, DEFAULT_SPLIT_THRESHOLD,
 };
 use report::{batch_json, batch_markdown, corpus_markdown, RunMeta};
 
@@ -90,6 +91,7 @@ usage: ise <enumerate|select|group|report> [flags]
                 [--budget M] [--limit K] [--out FILE|-] [--md FILE|-]
                 [--par-threshold V] [--split-threshold S]
                 [--dedup-mode dedup-first|validate-first]
+                [--trace-out FILE|-] [--progress]
   ise select    (same flags as enumerate)
                 [--max-instr 4] [--ports-in N] [--ports-out N] [--global]
                 [--no-memo]
@@ -101,6 +103,7 @@ usage: ise <enumerate|select|group|report> [flags]
                  [--max-instr 4] [--out FILE|-]]
   ise serve     [--listen ADDR] [--cache-dir DIR] [--cache-cap 256]
                 [--max-connections 64] [--compute-delay-ms 0]
+                [--trace-out FILE|-]
 
 PATH is a .dfg file or a directory of .dfg files (default: corpus).
 --out/--md write JSON/markdown to FILE, or to stdout when FILE is `-`.
@@ -115,6 +118,11 @@ serialize a sweep. The split points depend only on the block and the
 flags, so all counts are byte-identical for any --threads value;
 fanned-out blocks split their --budget evenly across the initial tasks
 (budget-truncated tasks never split further).
+--trace-out profiles the run as Chrome trace-event JSON (open it in
+chrome://tracing or Perfetto): engine, task and merge spans nest under
+their worker threads. --progress prints heartbeat lines on stderr while
+the sweep runs. Both only observe — no byte of --out/--md output
+changes, and all counts stay thread-count invariant with recording on.
 --dedup-mode validate-first bounds the dedup arena by the valid cuts
 (the memory fallback for huge blocks) at the cost of re-validating
 duplicate candidates; the reported cuts are identical.
@@ -139,7 +147,10 @@ connection gets its own thread over one shared cache, bounded by
 --max-connections (default 64); concurrent cold requests for the same
 key coalesce onto a single computation. The listener also answers
 HTTP/1.1: POST /v1/{enumerate,group,select} with the JSON request as
-body (the op comes from the path), GET /v1/stats for the stats op.
+body (the op comes from the path), GET /v1/stats for the stats op, and
+GET /v1/metrics for a Prometheus text exposition of the daemon's
+counters (requests, cache, memo, engine, pool). `serve --trace-out`
+writes a Chrome trace-event profile at graceful shutdown.
 Results are cached by a content hash of the canonical block bytes and
 the semantic flags; --cache-cap bounds each in-memory cache (0
 disables) and --cache-dir persists responses across restarts.
@@ -240,6 +251,7 @@ const BATCH_FLAGS: &[&str] = &[
     "par-threshold",
     "split-threshold",
     "dedup-mode",
+    "trace-out",
 ];
 const SELECT_FLAGS: &[&str] = &[
     "corpus",
@@ -253,6 +265,7 @@ const SELECT_FLAGS: &[&str] = &[
     "par-threshold",
     "split-threshold",
     "dedup-mode",
+    "trace-out",
     "max-instr",
     "ports-in",
     "ports-out",
@@ -269,6 +282,7 @@ const GROUP_FLAGS: &[&str] = &[
     "par-threshold",
     "split-threshold",
     "dedup-mode",
+    "trace-out",
     "ports-in",
     "ports-out",
     "min-count",
@@ -353,7 +367,11 @@ impl CommonBatchArgs {
 
 fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
     let allowed = if select { SELECT_FLAGS } else { BATCH_FLAGS };
-    let switches: &[&str] = if select { &["global", "no-memo"] } else { &[] };
+    let switches: &[&str] = if select {
+        &["global", "no-memo", "progress"]
+    } else {
+        &["progress"]
+    };
     let flags = Flags::parse_with_switches(args, allowed, switches)?;
     validate_out_targets(&flags)?;
     let common = parse_common(&flags)?;
@@ -372,8 +390,14 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
 
     let blocks = load_blocks(&common.corpus, &flags)?;
     let config = common.batch_config(selection);
+    let trace_out = flags.get("trace-out").map(str::to_string);
+    let registry = obs::registry_for(trace_out.as_deref(), flags.bool("progress", false)?);
     let start = Instant::now();
-    let outcomes = run_batch(&blocks, &config);
+    let heartbeat = obs::Heartbeat::start(registry.clone(), flags.bool("progress", false)?);
+    let outcomes = run_batch_obs(&blocks, &config, recorder(&registry));
+    if let Some(heartbeat) = heartbeat {
+        heartbeat.stop();
+    }
     let meta = common.meta(select, start.elapsed());
 
     if global {
@@ -382,7 +406,10 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
         // another occurrence costs no additional opcode.
         let group_config = GroupConfig::new(ports_in, ports_out);
         let max_patterns = flags.usize("max-instr", 0)?;
-        let memo = (!flags.bool("no-memo", false)?).then(CanonMemo::new);
+        let mut memo = (!flags.bool("no-memo", false)?).then(CanonMemo::new);
+        if let (Some(memo), Some(registry)) = (memo.as_mut(), &registry) {
+            memo.set_recorder(registry.as_ref());
+        }
         let (json, markdown, _) = group::global_select_report(
             &blocks,
             &outcomes,
@@ -395,7 +422,7 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
         if let Some(md) = flags.get("md") {
             emit(md, &markdown)?;
         }
-        return Ok(());
+        return write_trace_if_requested(trace_out.as_deref(), registry.as_deref());
     }
     if flags.bool("no-memo", false)? {
         return Err(CliError::Usage(
@@ -412,11 +439,12 @@ fn run_batch_command(args: &[String], select: bool) -> Result<(), CliError> {
     if let Some(md) = flags.get("md") {
         emit(md, &batch_markdown(&outcomes, &meta))?;
     }
-    Ok(())
+    write_trace_if_requested(trace_out.as_deref(), registry.as_deref())
 }
 
 fn run_group_command(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse_with_switches(args, GROUP_FLAGS, &["no-memo", "memo-stats"])?;
+    let flags =
+        Flags::parse_with_switches(args, GROUP_FLAGS, &["no-memo", "memo-stats", "progress"])?;
     validate_out_targets(&flags)?;
     let common = parse_common(&flags)?;
     let ports_in = flags.usize("ports-in", common.nin)?;
@@ -426,7 +454,7 @@ fn run_group_command(args: &[String]) -> Result<(), CliError> {
         0 => usize::MAX, // 0 = unlimited, consistent with --budget / global --max-instr
         top => top,
     };
-    let memo = (!flags.bool("no-memo", false)?).then(CanonMemo::new);
+    let mut memo = (!flags.bool("no-memo", false)?).then(CanonMemo::new);
     if flags.bool("memo-stats", false)? && memo.is_none() {
         return Err(CliError::Usage(
             "`--memo-stats` needs the memo; drop `--no-memo`".to_string(),
@@ -435,8 +463,17 @@ fn run_group_command(args: &[String]) -> Result<(), CliError> {
 
     let blocks = load_blocks(&common.corpus, &flags)?;
     let config = common.batch_config(None);
+    let trace_out = flags.get("trace-out").map(str::to_string);
+    let registry = obs::registry_for(trace_out.as_deref(), flags.bool("progress", false)?);
+    if let (Some(memo), Some(registry)) = (memo.as_mut(), &registry) {
+        memo.set_recorder(registry.as_ref());
+    }
     let start = Instant::now();
-    let outcomes = run_batch(&blocks, &config);
+    let heartbeat = obs::Heartbeat::start(registry.clone(), flags.bool("progress", false)?);
+    let outcomes = run_batch_obs(&blocks, &config, recorder(&registry));
+    if let Some(heartbeat) = heartbeat {
+        heartbeat.stop();
+    }
     let index = group::group_outcomes(
         &blocks,
         &outcomes,
@@ -468,6 +505,24 @@ fn run_group_command(args: &[String]) -> Result<(), CliError> {
                 memo_stats.as_ref(),
             ),
         )?;
+    }
+    write_trace_if_requested(trace_out.as_deref(), registry.as_deref())
+}
+
+/// The `Option<&dyn Recorder>` view of an optional registry, for threading into
+/// [`run_batch_obs`].
+fn recorder(
+    registry: &Option<std::sync::Arc<ise_obs::MetricsRegistry>>,
+) -> Option<&dyn ise_obs::Recorder> {
+    registry.as_deref().map(|r| r as &dyn ise_obs::Recorder)
+}
+
+fn write_trace_if_requested(
+    trace_out: Option<&str>,
+    registry: Option<&ise_obs::MetricsRegistry>,
+) -> Result<(), CliError> {
+    if let (Some(path), Some(registry)) = (trace_out, registry) {
+        obs::write_trace(path, registry)?;
     }
     Ok(())
 }
@@ -570,13 +625,14 @@ fn load_blocks(corpus: &str, flags: &Flags) -> Result<Vec<ise_corpus::CorpusBloc
     Ok(blocks)
 }
 
-/// Validates every output target of `flags` (`--out`, `--md`) **before** the long
+/// Validates every output target of `flags` (`--out`, `--md`, `--trace-out`)
+/// **before** the long
 /// part of a run: a typo'd directory must fail in milliseconds, not after minutes
 /// of enumeration whose report then has nowhere to go. `-` (stdout) always
 /// validates; for files the parent directory must exist and an existing target
 /// must be a writable file (not a directory, not read-only).
 fn validate_out_targets(flags: &Flags) -> Result<(), CliError> {
-    for key in ["out", "md"] {
+    for key in ["out", "md", "trace-out"] {
         if let Some(target) = flags.get(key) {
             validate_out_target(target)?;
         }

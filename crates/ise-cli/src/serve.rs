@@ -17,6 +17,7 @@
 //!
 //! POST /v1/enumerate|/v1/group|/v1/select   (JSON request body, minus "op")
 //! GET  /v1/stats                            -> the stats op
+//! GET  /v1/metrics                          -> Prometheus text exposition
 //! ```
 //!
 //! A successful evaluation answers
@@ -72,7 +73,7 @@
 use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -83,8 +84,9 @@ use ise_canon::{
 use ise_corpus::{load_corpus_path, parse_corpus, CorpusBlock};
 use ise_enum::{select_ises, EnumContext, Enumeration, PruningConfig};
 use ise_graph::LatencyModel;
+use ise_obs::{Counter, MetricsRegistry, Recorder};
 
-use crate::batch::{run_batch, BatchConfig, BlockOutcome, SelectionConfig};
+use crate::batch::{run_batch_obs, BatchConfig, BlockOutcome, SelectionConfig};
 use crate::cache::{
     content_hash, CacheStats, Flight, FlightStats, LruCache, ResponseCache, SingleFlight,
 };
@@ -145,6 +147,7 @@ const SERVE_FLAGS: &[&str] = &[
     "cache-cap",
     "max-connections",
     "compute-delay-ms",
+    "trace-out",
 ];
 
 /// Flags a request may carry, per op (the batch CLI's flags minus `corpus`, which
@@ -188,11 +191,23 @@ pub fn run_serve_command(args: &[String]) -> Result<(), CliError> {
     if delay_ms > 0 {
         state = state.with_compute_delay(Duration::from_millis(delay_ms as u64));
     }
-    sig::install();
-    match flags.get("listen") {
-        Some(addr) => serve_tcp(&Arc::new(state), addr, max_connections),
-        None => serve_stdin(&state),
+    let trace_out = flags.get("trace-out").map(str::to_string);
+    if let Some(path) = &trace_out {
+        crate::validate_out_target(path)?;
     }
+    sig::install();
+    let state = Arc::new(state);
+    match flags.get("listen") {
+        Some(addr) => serve_tcp(&state, addr, max_connections)?,
+        None => serve_stdin(&state)?,
+    }
+    // The trace is written once, at graceful shutdown, so it covers the daemon's
+    // whole lifetime (the buffer is bounded; long-lived daemons keep the oldest
+    // spans and count the dropped tail).
+    if let Some(path) = &trace_out {
+        crate::obs::write_trace(path, state.registry())?;
+    }
+    Ok(())
 }
 
 /// Daemon-level request accounting, reported as the `server` object of the
@@ -202,18 +217,28 @@ pub fn run_serve_command(args: &[String]) -> Result<(), CliError> {
 /// `hits + misses + errors == requests` is an invariant the concurrency stress
 /// harness asserts. `stats` and `shutdown` lines are control traffic and are
 /// deliberately not counted.
-#[derive(Debug, Default)]
+///
+/// Each counter is a handle into the daemon's [`MetricsRegistry`]
+/// (`ise_serve_<name>_total`), so the same cells feed the `stats` op and the
+/// `GET /v1/metrics` exposition.
+#[derive(Debug)]
 struct ServeCounters {
-    requests: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    errors: AtomicU64,
-    connection_errors: AtomicU64,
+    requests: Counter,
+    hits: Counter,
+    misses: Counter,
+    errors: Counter,
+    connection_errors: Counter,
 }
 
 impl ServeCounters {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn new(rec: &dyn Recorder) -> Self {
+        ServeCounters {
+            requests: rec.counter("ise_serve_requests_total"),
+            hits: rec.counter("ise_serve_hits_total"),
+            misses: rec.counter("ise_serve_misses_total"),
+            errors: rec.counter("ise_serve_errors_total"),
+            connection_errors: rec.counter("ise_serve_connection_errors_total"),
+        }
     }
 }
 
@@ -237,6 +262,11 @@ pub struct ServerState {
     /// asking for the same cold block trigger exactly one `run_batch`.
     flights: SingleFlight,
     counters: ServeCounters,
+    /// The daemon's metrics registry: request/engine/pool counters, request
+    /// spans and cache/memo gauges, rendered by `GET /v1/metrics` (Prometheus)
+    /// and `--trace-out` (Chrome trace events). Pure observability — nothing in
+    /// it ever reaches a cached payload.
+    registry: Arc<MetricsRegistry>,
     /// Test seam: sleep this long at the start of every cold computation.
     compute_delay: Option<Duration>,
     shutdown: AtomicBool,
@@ -267,16 +297,25 @@ impl ServerState {
     /// per-block codings) each hold at most `cap` entries; `cache_dir` persists
     /// response payloads across restarts.
     pub fn new(cap: usize, cache_dir: Option<PathBuf>) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut memo = CanonMemo::new();
+        memo.set_recorder(registry.as_ref());
         ServerState {
             responses: Mutex::new(ResponseCache::new(cap, cache_dir)),
             enumerations: Mutex::new(LruCache::new(cap)),
             codings: Mutex::new(LruCache::new(cap)),
-            memo: CanonMemo::new(),
+            memo,
             flights: SingleFlight::default(),
-            counters: ServeCounters::default(),
+            counters: ServeCounters::new(registry.as_ref()),
+            registry,
             compute_delay: None,
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// The daemon's metrics registry (for `--trace-out` and test observability).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Test seam: sleep `delay` at the start of every cold computation, so
@@ -328,23 +367,31 @@ impl ServerState {
     /// concurrent duplicate cold requests coalesce onto one computation.
     pub fn handle_line(&self, line: &str) -> String {
         let started = Instant::now();
-        match self.dispatch(line) {
+        let span = self.registry.span_begin("serve", "request");
+        let outcome = self.dispatch(line);
+        self.registry.span_end(span);
+        match outcome {
             Ok(Reply::Evaluated {
                 op,
                 key,
                 cached,
                 payload,
             }) => {
-                ServeCounters::bump(&self.counters.requests);
-                ServeCounters::bump(if cached {
-                    &self.counters.hits
+                self.counters.requests.incr();
+                if cached {
+                    self.counters.hits.incr();
                 } else {
-                    &self.counters.misses
-                });
+                    self.counters.misses.incr();
+                }
+                // `elapsed_us` exists because warm hits routinely finish in well
+                // under a millisecond, where `elapsed_ms` truncates to 0; both
+                // are envelope-only facts (never cached, stripped as volatile).
+                let elapsed = started.elapsed();
                 format!(
                     "{{\"ok\":true,\"op\":\"{op}\",\"key\":\"{key}\",\"cached\":{cached},\
-                     \"elapsed_ms\":{},\"result\":{payload}}}",
-                    started.elapsed().as_millis(),
+                     \"elapsed_ms\":{},\"elapsed_us\":{},\"result\":{payload}}}",
+                    elapsed.as_millis(),
+                    elapsed.as_micros(),
                 )
             }
             Ok(Reply::Bare(text)) => text,
@@ -356,15 +403,15 @@ impl ServerState {
     /// shim for routing failures, so the `server` counters stay consistent for
     /// any transport.
     fn error_response(&self, message: &str) -> String {
-        ServeCounters::bump(&self.counters.requests);
-        ServeCounters::bump(&self.counters.errors);
+        self.counters.requests.incr();
+        self.counters.errors.incr();
         format!("{{\"ok\":false,\"error\":{}}}", Json::str(message).render())
     }
 
     /// Logs a connection-level I/O failure and bumps the `connection_errors`
     /// counter — a dropped connection must be observable, never silent.
     fn note_connection_error(&self, peer: &str, error: &io::Error) {
-        ServeCounters::bump(&self.counters.connection_errors);
+        self.counters.connection_errors.incr();
         eprintln!("ise serve: connection {peer}: {error}");
     }
 
@@ -557,9 +604,10 @@ impl ServerState {
     }
 
     /// Per-block enumeration through the content-addressed cache: cached blocks
-    /// are reconstructed, missed blocks run through the real batch scheduler (the
-    /// per-block result of [`run_batch`] is a function of the block and the config
-    /// alone, so a partial batch reproduces the full batch's rows exactly). The
+    /// are reconstructed, missed blocks run through the real batch scheduler with
+    /// the daemon's registry observing (the per-block result of [`run_batch_obs`]
+    /// is a function of the block and the config alone — never of the recorder —
+    /// so a partial batch reproduces the full batch's rows exactly). The
     /// cache lock is held per lookup/insert, never across `run_batch` — two
     /// threads may race to compute the same block, in which case both compute the
     /// identical value and the second insert overwrites with the same bytes
@@ -593,7 +641,7 @@ impl ServerState {
         }
         if !missed.is_empty() {
             let misses: Vec<CorpusBlock> = missed.iter().map(|&i| blocks[i].clone()).collect();
-            let fresh = run_batch(&misses, config);
+            let fresh = run_batch_obs(&misses, config, Some(self.registry.as_ref()));
             for (&i, mut outcome) in missed.iter().zip(fresh) {
                 self.enumerations
                     .lock()
@@ -678,31 +726,26 @@ impl ServerState {
             (codings.stats(), codings.len(), codings.cap())
         };
         let flights = self.flights.stats();
+        self.publish_gauges();
+        let obs = Json::object(
+            self.registry
+                .snapshot()
+                .into_iter()
+                .map(|(key, value)| (key, Json::UInt(value))),
+        );
         let result = Json::object([
             (
                 "server",
                 Json::object([
-                    (
-                        "requests",
-                        Json::UInt(self.counters.requests.load(Ordering::Relaxed)),
-                    ),
-                    (
-                        "hits",
-                        Json::UInt(self.counters.hits.load(Ordering::Relaxed)),
-                    ),
-                    (
-                        "misses",
-                        Json::UInt(self.counters.misses.load(Ordering::Relaxed)),
-                    ),
-                    (
-                        "errors",
-                        Json::UInt(self.counters.errors.load(Ordering::Relaxed)),
-                    ),
+                    ("requests", Json::UInt(self.counters.requests.get())),
+                    ("hits", Json::UInt(self.counters.hits.get())),
+                    ("misses", Json::UInt(self.counters.misses.get())),
+                    ("errors", Json::UInt(self.counters.errors.get())),
                     ("coalesced", Json::UInt(flights.coalesced)),
                     ("flights_led", Json::UInt(flights.leaders)),
                     (
                         "connection_errors",
-                        Json::UInt(self.counters.connection_errors.load(Ordering::Relaxed)),
+                        Json::UInt(self.counters.connection_errors.get()),
                     ),
                 ]),
             ),
@@ -713,11 +756,37 @@ impl ServerState {
             ("enumerations", cache(enum_stats, enum_len, enum_cap)),
             ("codings", cache(coding_stats, coding_len, coding_cap)),
             ("memo", group::memo_stats_json(&self.memo.stats())),
+            // The registry's flat counter/gauge snapshot — the same series
+            // `GET /v1/metrics` exposes, here for JSON-protocol clients. Volatile
+            // by nature (it accumulates across requests): CI strips it alongside
+            // `cached`/`elapsed_*` before byte comparisons.
+            ("obs", obs),
         ]);
         format!(
             "{{\"ok\":true,\"op\":\"stats\",\"result\":{}}}",
             result.render()
         )
+    }
+
+    /// Pushes the mutex-guarded cache/memo/flight snapshots into the registry as
+    /// gauges, so a scrape (or the `stats` op) sees current values next to the
+    /// always-live atomic counters.
+    fn publish_gauges(&self) {
+        let rec: &dyn Recorder = self.registry.as_ref();
+        self.response_stats().publish(rec, "responses");
+        self.enumeration_stats().publish(rec, "enumerations");
+        self.coding_stats().publish(rec, "codings");
+        self.memo_stats().publish(rec);
+        self.flight_stats().publish(rec);
+    }
+
+    /// The `GET /v1/metrics` body: the registry rendered as Prometheus text
+    /// exposition (version 0.0.4), covering the server counters, engine and pool
+    /// counters/histograms, and the cache/memo/flight gauges published at scrape
+    /// time.
+    fn metrics_response(&self) -> String {
+        self.publish_gauges();
+        self.registry.render_prometheus()
     }
 }
 
@@ -1141,9 +1210,9 @@ fn serve_http(
         read_exact_polled(state, reader, &mut body)?;
         let body = String::from_utf8_lossy(&body).into_owned();
 
-        let (status, payload) = http_reply(state, &method, &path, &body);
+        let (status, content_type, payload) = http_reply(state, &method, &path, &body);
         let response = format!(
-            "HTTP/1.1 {status}\r\nContent-Type: application/json\r\n\
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
              Content-Length: {}\r\nConnection: {}\r\n\r\n{payload}",
             payload.len(),
             if close { "close" } else { "keep-alive" },
@@ -1160,12 +1229,25 @@ fn serve_http(
     }
 }
 
-/// Routes one HTTP request to the protocol handlers and picks the status line.
-/// Routing failures are answered with the same in-band `{"ok":false,...}` body
-/// the JSON protocol uses (and counted by the same `server` counters).
-fn http_reply(state: &ServerState, method: &str, path: &str, body: &str) -> (&'static str, String) {
+/// The Content-Type of every JSON-bodied HTTP response.
+const CONTENT_JSON: &str = "application/json";
+
+/// The Content-Type of the Prometheus text exposition format.
+const CONTENT_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Routes one HTTP request to the protocol handlers and picks the status line
+/// and content type. Routing failures are answered with the same in-band
+/// `{"ok":false,...}` body the JSON protocol uses (and counted by the same
+/// `server` counters).
+fn http_reply(
+    state: &ServerState,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (&'static str, &'static str, String) {
     match (method, path) {
-        ("GET", "/v1/stats") => ("200 OK", state.stats_response()),
+        ("GET", "/v1/stats") => ("200 OK", CONTENT_JSON, state.stats_response()),
+        ("GET", "/v1/metrics") => ("200 OK", CONTENT_PROMETHEUS, state.metrics_response()),
         ("POST", "/v1/enumerate" | "/v1/group" | "/v1/select") => {
             let op = path.rsplit('/').next().expect("path has segments");
             match http_request_line(op, body) {
@@ -1176,19 +1258,26 @@ fn http_reply(state: &ServerState, method: &str, path: &str, body: &str) -> (&'s
                     } else {
                         "400 Bad Request"
                     };
-                    (status, response)
+                    (status, CONTENT_JSON, response)
                 }
-                Err(message) => ("400 Bad Request", state.error_response(&message)),
+                Err(message) => (
+                    "400 Bad Request",
+                    CONTENT_JSON,
+                    state.error_response(&message),
+                ),
             }
         }
         ("POST" | "GET", _) => (
             "404 Not Found",
+            CONTENT_JSON,
             state.error_response(&format!(
-                "unknown path `{path}` (POST /v1/{{enumerate,group,select}}, GET /v1/stats)"
+                "unknown path `{path}` (POST /v1/{{enumerate,group,select}}, \
+                 GET /v1/stats, GET /v1/metrics)"
             )),
         ),
         _ => (
             "405 Method Not Allowed",
+            CONTENT_JSON,
             state.error_response(&format!("method `{method}` is not supported")),
         ),
     }
@@ -1471,6 +1560,105 @@ mod tests {
     }
 
     #[test]
+    fn envelopes_report_microsecond_latency_alongside_milliseconds() {
+        let state = ServerState::new(8, None);
+        let req = request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#);
+        let _ = state.handle_line(&req);
+        let warm = state.handle_line(&req);
+        let doc = Json::parse(&warm).unwrap();
+        // A warm hit is typically sub-millisecond: `elapsed_ms` alone reads 0.
+        // `elapsed_us` must be present (envelope-only; the payload has neither).
+        assert!(
+            doc.get("elapsed_ms").and_then(Json::as_u64).is_some(),
+            "{warm}"
+        );
+        assert!(
+            doc.get("elapsed_us").and_then(Json::as_u64).is_some(),
+            "{warm}"
+        );
+        let payload = result_of(&warm).render();
+        assert!(!payload.contains("elapsed_us"), "envelope-only: {payload}");
+        assert!(
+            !payload.contains("\"obs\""),
+            "no obs in payloads: {payload}"
+        );
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_valid_prometheus_exposition() {
+        let state = ServerState::new(8, None);
+        let _ = state.handle_line(&request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#));
+        let _ = state.handle_line(&request("group", INLINE, r#"{"nin":3,"nout":1}"#));
+        let (status, content_type, body) = http_reply(&state, "GET", "/v1/metrics", "");
+        assert_eq!(status, "200 OK");
+        assert!(content_type.starts_with("text/plain"), "{content_type}");
+        // Exposition validity: every non-comment line is `name[{labels}] value`,
+        // and every series is preceded by its # TYPE header.
+        let mut typed: Vec<&str> = Vec::new();
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.push(rest.split(' ').next().unwrap());
+                continue;
+            }
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (series, value) = line
+                .rsplit_once(' ')
+                .expect("sample lines are `name value`");
+            let base = series.split('{').next().unwrap();
+            assert!(
+                typed.contains(&base),
+                "sample `{series}` lacks a # TYPE header:\n{body}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "sample value `{value}` is not numeric"
+            );
+        }
+        // The exposition covers every layer: server, cache, memo, engine, pool.
+        for series in [
+            "ise_serve_requests_total 2",
+            "ise_cache_hits{cache=\"responses\"}",
+            "ise_memo_entries",
+            "ise_engine_runs_total",
+            "ise_pool_seeded_total",
+        ] {
+            assert!(body.contains(series), "missing `{series}`:\n{body}");
+        }
+    }
+
+    #[test]
+    fn stats_op_reports_the_registry_snapshot() {
+        let state = ServerState::new(8, None);
+        let _ = state.handle_line(&request("enumerate", INLINE, r#"{"nin":3,"nout":1}"#));
+        let stats = state.handle_line(r#"{"op":"stats"}"#);
+        let obs = Json::parse(&stats)
+            .unwrap()
+            .get("result")
+            .and_then(|r| r.get("obs"))
+            .cloned()
+            .expect("stats op reports the obs snapshot");
+        assert_eq!(
+            obs.get("ise_serve_requests_total").and_then(Json::as_u64),
+            Some(1),
+            "{stats}"
+        );
+        assert!(
+            obs.get("ise_engine_runs_total")
+                .and_then(Json::as_u64)
+                .is_some_and(|runs| runs >= 1),
+            "{stats}"
+        );
+        // The request span ledger balances even with dispatch errors in between.
+        let _ = state.handle_line("not json");
+        assert_eq!(
+            state.registry().spans_entered(),
+            state.registry().spans_exited()
+        );
+    }
+
+    #[test]
     fn http_request_line_injects_the_path_op() {
         let line = http_request_line("enumerate", r#"{"block":"b.dfg","flags":{"nin":3}}"#)
             .expect("valid body");
@@ -1496,14 +1684,15 @@ mod tests {
     #[test]
     fn http_reply_routes_paths_and_status_codes() {
         let state = ServerState::new(8, None);
-        let (status, body) = http_reply(&state, "GET", "/v1/stats", "");
+        let (status, content_type, body) = http_reply(&state, "GET", "/v1/stats", "");
         assert_eq!(status, "200 OK");
+        assert_eq!(content_type, CONTENT_JSON);
         assert!(body.contains("\"op\":\"stats\""), "{body}");
         let request_body = format!(
             "{{\"block\":{},\"flags\":{{\"nin\":3,\"nout\":1}}}}",
             Json::str(INLINE).render()
         );
-        let (status, body) = http_reply(&state, "POST", "/v1/enumerate", &request_body);
+        let (status, _, body) = http_reply(&state, "POST", "/v1/enumerate", &request_body);
         assert_eq!(status, "200 OK", "{body}");
         assert!(body.contains("\"op\":\"enumerate\""), "{body}");
         assert!(
@@ -1518,13 +1707,13 @@ mod tests {
         assert_eq!(stripped(&body), stripped(&via_json));
         assert!(via_json.contains("\"cached\":true"), "{via_json}");
 
-        let (status, body) = http_reply(&state, "POST", "/v1/enumerate", "{nope");
+        let (status, _, body) = http_reply(&state, "POST", "/v1/enumerate", "{nope");
         assert_eq!(status, "400 Bad Request");
         assert!(body.contains("\"ok\":false"), "{body}");
-        let (status, body) = http_reply(&state, "POST", "/v1/frobnicate", "{}");
+        let (status, _, body) = http_reply(&state, "POST", "/v1/frobnicate", "{}");
         assert_eq!(status, "404 Not Found");
         assert!(body.contains("unknown path"), "{body}");
-        let (status, _) = http_reply(&state, "PATCH", "/v1/stats", "");
+        let (status, _, _) = http_reply(&state, "PATCH", "/v1/stats", "");
         assert_eq!(status, "405 Method Not Allowed");
         // Routing failures feed the same counters as in-band errors.
         let stats = state.handle_line(r#"{"op":"stats"}"#);

@@ -42,11 +42,13 @@
 //! contract at compile time.
 
 use ise_graph::{DenseNodeSet, NodeId};
+use ise_obs::Recorder;
 
 use crate::cone::cone;
 use crate::config::Constraints;
 use crate::context::EnumContext;
 use crate::cut::Cut;
+use crate::obs::{phase, PhaseClock};
 use crate::result::Enumeration;
 use crate::stats::EnumStats;
 
@@ -206,10 +208,38 @@ pub fn run_with_options<E: Enumerator + ?Sized>(
     constraints: &Constraints,
     options: &EngineOptions,
 ) -> Enumeration {
+    run_with_observer(enumerator, ctx, constraints, options, None)
+}
+
+/// Runs `enumerator` over `ctx` with explicit [`EngineOptions`] and an optional
+/// [`Recorder`] receiving per-phase timings, search-progress counters, and a span
+/// covering the whole run.
+///
+/// Observability is strictly write-only: the recorder never influences the search,
+/// so the returned [`Enumeration`] is byte-for-byte the one
+/// [`run_with_options`] produces.
+pub fn run_with_observer<E: Enumerator + ?Sized>(
+    enumerator: &mut E,
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    options: &EngineOptions,
+    rec: Option<&dyn Recorder>,
+) -> Enumeration {
     let mut state = SearchState::new(ctx, constraints, options.max_search_nodes, options.strategy);
     state.set_dedup_mode(options.dedup_mode);
+    if let Some(rec) = rec {
+        state.set_recorder(rec);
+    }
+    let span = match rec {
+        Some(rec) => rec.span_begin("engine", enumerator.name()),
+        None => ise_obs::SpanToken::NONE,
+    };
     enumerator.search(&mut state);
-    state.finish()
+    let enumeration = state.finish();
+    if let Some(rec) = rec {
+        rec.span_end(span);
+    }
+    enumeration
 }
 
 /// One entry of the undo trail; popping a frame replays these in reverse.
@@ -269,6 +299,9 @@ pub struct SearchState<'a> {
     legacy_seen: std::collections::HashSet<(Vec<NodeId>, Vec<NodeId>)>,
     cuts: Vec<Cut>,
     stats: EnumStats,
+    // --- observability (write-only; never influences the search) ---
+    rec: Option<&'a dyn Recorder>,
+    clock: PhaseClock,
 }
 
 impl<'a> SearchState<'a> {
@@ -304,7 +337,76 @@ impl<'a> SearchState<'a> {
             legacy_seen: std::collections::HashSet::new(),
             cuts: Vec::new(),
             stats: EnumStats::new(),
+            rec: None,
+            clock: PhaseClock::disabled(),
         }
+    }
+
+    /// Attaches a recorder: per-phase self-time attribution arms immediately
+    /// when the recorder is live, and the accumulated counters flush when the
+    /// run finishes. A disabled recorder (`enabled() == false`, e.g.
+    /// [`ise_obs::NoopRecorder`]) keeps the phase clock disarmed so every
+    /// transition stays a single predictable branch — the ≤1% disabled-path
+    /// bound asserted by the `obs_overhead` bench. Recording is write-only —
+    /// it never changes what the search explores or reports.
+    pub fn set_recorder(&mut self, rec: &'a dyn Recorder) {
+        self.rec = Some(rec);
+        if rec.enabled() {
+            self.clock.enable();
+        }
+    }
+
+    /// Switches the phase clock (no-op without a recorder); see
+    /// [`crate::obs::PhaseClock::enter`].
+    #[inline]
+    pub(crate) fn phase_enter(&mut self, phase: u8) -> u8 {
+        self.clock.enter(phase)
+    }
+
+    /// Restores the phase clock (no-op without a recorder); see
+    /// [`crate::obs::PhaseClock::restore`].
+    #[inline]
+    pub(crate) fn phase_restore(&mut self, phase: u8) {
+        self.clock.restore(phase)
+    }
+
+    /// Flushes the per-phase timings and the progress counters to the attached
+    /// recorder (bulk, once per run or per parallel task — never per event).
+    fn flush_obs(&mut self) {
+        let Some(rec) = self.rec else { return };
+        let (ns, entries) = self.clock.finalize();
+        for (i, name) in phase::NAMES.iter().enumerate() {
+            if ns[i] > 0 {
+                rec.add(
+                    &format!("ise_engine_phase_ns_total{{phase=\"{name}\"}}"),
+                    ns[i],
+                );
+            }
+            if entries[i] > 0 {
+                rec.add(
+                    &format!("ise_engine_phase_entries_total{{phase=\"{name}\"}}"),
+                    entries[i],
+                );
+            }
+        }
+        rec.add("ise_engine_runs_total", 1);
+        rec.add(
+            "ise_engine_search_nodes_total",
+            self.stats.search_nodes as u64,
+        );
+        rec.add(
+            "ise_engine_candidates_total",
+            self.stats.candidates_checked as u64,
+        );
+        rec.add("ise_engine_valid_cuts_total", self.stats.valid_cuts as u64);
+        rec.add(
+            "ise_engine_duplicates_total",
+            self.stats.rejected_duplicate as u64,
+        );
+        rec.add(
+            "ise_engine_dominator_runs_total",
+            self.stats.dominator_runs as u64,
+        );
     }
 
     /// The shared analysis context of this run.
@@ -579,6 +681,12 @@ impl<'a> SearchState<'a> {
     /// [`BodyStrategy::Rebuild`] the legacy pipeline runs instead: a fresh backward
     /// closure per call, with validation before de-duplication.
     pub fn check_cut(&mut self, abort_on_forbidden: bool) {
+        let prev = self.clock.enter(phase::DEDUP);
+        self.check_cut_inner(abort_on_forbidden);
+        self.clock.restore(prev);
+    }
+
+    fn check_cut_inner(&mut self, abort_on_forbidden: bool) {
         match self.strategy {
             BodyStrategy::Incremental => {
                 if abort_on_forbidden && self.forbidden_in_body > 0 {
@@ -719,7 +827,8 @@ impl<'a> SearchState<'a> {
     }
 
     /// Consumes the state, yielding the collected cuts and statistics.
-    pub fn finish(self) -> Enumeration {
+    pub fn finish(mut self) -> Enumeration {
+        self.flush_obs();
         Enumeration {
             cuts: self.cuts,
             stats: self.stats,
@@ -729,7 +838,8 @@ impl<'a> SearchState<'a> {
     /// Consumes the state, yielding everything the task-parallel merge needs: the
     /// cuts, the statistics, the seen-set (whose arena lists every first-seen key in
     /// insertion order) and the classification log paired with it.
-    pub(crate) fn finish_task(self) -> TaskHarvest {
+    pub(crate) fn finish_task(mut self) -> TaskHarvest {
+        self.flush_obs();
         TaskHarvest {
             cuts: self.cuts,
             stats: self.stats,

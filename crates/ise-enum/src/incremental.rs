@@ -31,6 +31,7 @@ use ise_graph::NodeId;
 use crate::config::{Constraints, PruningConfig};
 use crate::context::EnumContext;
 use crate::engine::{self, BodyStrategy, EngineOptions, Enumerator, SearchState};
+use crate::obs::phase;
 use crate::result::Enumeration;
 
 /// Enumerates all valid cuts with the incremental algorithm of Figure 3 and the default
@@ -112,8 +113,21 @@ pub fn incremental_cuts_opts(
     pruning: &PruningConfig,
     options: &EngineOptions,
 ) -> Enumeration {
+    incremental_cuts_obs(ctx, constraints, pruning, options, None)
+}
+
+/// [`incremental_cuts_opts`] with an optional [`ise_obs::Recorder`] receiving the
+/// engine's per-phase timings and progress counters. Recording never changes the
+/// result.
+pub fn incremental_cuts_obs(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    options: &EngineOptions,
+    rec: Option<&dyn ise_obs::Recorder>,
+) -> Enumeration {
     let mut enumerator = IncrementalEnumerator::new(ctx, pruning);
-    engine::run_with_options(&mut enumerator, ctx, constraints, options)
+    engine::run_with_observer(&mut enumerator, ctx, constraints, options, rec)
 }
 
 /// The Figure 3 search as an [`Enumerator`] over the shared engine.
@@ -235,6 +249,17 @@ impl<'a> IncrementalEnumerator<'a> {
         remaining_inputs: usize,
         remaining_outputs: usize,
     ) {
+        let prev = state.phase_enter(phase::PICK_OUTPUT);
+        self.pick_output_inner(state, remaining_inputs, remaining_outputs);
+        state.phase_restore(prev);
+    }
+
+    fn pick_output_inner(
+        &mut self,
+        state: &mut SearchState<'_>,
+        remaining_inputs: usize,
+        remaining_outputs: usize,
+    ) {
         debug_assert!(remaining_outputs > 0);
         let ctx = self.ctx;
         let legacy = state.strategy() == BodyStrategy::Rebuild;
@@ -320,11 +345,13 @@ impl<'a> IncrementalEnumerator<'a> {
             state.push_output(o);
             // Legacy fidelity: the allocating `set_dominates` reallocates its DFS
             // scratch per call; the engine reuses the state's buffers.
+            let dphase = state.phase_enter(phase::DOMINATORS);
             let dominated = if legacy {
                 ctx.set_dominates(state.input_set(), o)
             } else {
                 state.inputs_dominate(o)
             };
+            state.phase_restore(dphase);
             if dominated {
                 self.check_cut(state, remaining_inputs, remaining_outputs - 1);
             } else if remaining_inputs > 0 {
@@ -342,6 +369,25 @@ impl<'a> IncrementalEnumerator<'a> {
     /// (the completing vertex found by Lengauer–Tarjan is exempt from the ordering, as
     /// in Dubrova's construction, so no dominator set is missed).
     fn pick_inputs(
+        &mut self,
+        state: &mut SearchState<'_>,
+        output: NodeId,
+        remaining_inputs: usize,
+        remaining_outputs: usize,
+        min_seed_index: usize,
+    ) {
+        let prev = state.phase_enter(phase::PICK_INPUTS);
+        self.pick_inputs_inner(
+            state,
+            output,
+            remaining_inputs,
+            remaining_outputs,
+            min_seed_index,
+        );
+        state.phase_restore(prev);
+    }
+
+    fn pick_inputs_inner(
         &mut self,
         state: &mut SearchState<'_>,
         output: NodeId,
@@ -381,6 +427,7 @@ impl<'a> IncrementalEnumerator<'a> {
         // reused; in legacy-rebuild mode each run materializes a fresh `DominatorTree`,
         // as the pre-engine implementation did (see DESIGN.md §1.1).
         let mut completions = self.completion_pool.pop().unwrap_or_default();
+        let dphase = state.phase_enter(phase::DOMINATORS);
         if state.strategy() == BodyStrategy::Rebuild {
             completions.extend(dominator_completions(
                 &Forward(ctx.rooted()),
@@ -398,6 +445,7 @@ impl<'a> IncrementalEnumerator<'a> {
                 &mut completions,
             );
         }
+        state.phase_restore(dphase);
         let k = completions.len();
         for (d, &w) in completions.iter().enumerate() {
             if top_decisions {
@@ -549,11 +597,13 @@ impl<'a> IncrementalEnumerator<'a> {
         // the candidate can never satisfy the technical input condition of §3 in any
         // cut grown from this seed.
         if self.pruning.dominator_input {
+            let dphase = state.phase_enter(phase::DOMINATORS);
             let dominated = if state.strategy() == BodyStrategy::Rebuild {
                 ctx.set_dominates(state.input_set(), i)
             } else {
                 state.inputs_dominate(i)
             };
+            state.phase_restore(dphase);
             if dominated {
                 state.stats_mut().pruned_dominator_input += 1;
                 return true;

@@ -73,6 +73,7 @@ pub mod engine;
 mod exhaustive;
 mod incremental;
 mod merit;
+mod obs;
 pub mod par;
 mod result;
 mod selection;
@@ -87,8 +88,8 @@ pub use cut::{Cut, CutKey, CutRejection};
 pub use engine::{BodyStrategy, DedupMode, EngineOptions, Enumerator, SearchState};
 pub use exhaustive::{exhaustive_cuts, ExhaustiveEnumerator, MAX_EXHAUSTIVE_CANDIDATES};
 pub use incremental::{
-    incremental_cuts, incremental_cuts_bounded, incremental_cuts_opts, incremental_cuts_with,
-    IncrementalEnumerator,
+    incremental_cuts, incremental_cuts_bounded, incremental_cuts_obs, incremental_cuts_opts,
+    incremental_cuts_with, IncrementalEnumerator,
 };
 pub use merit::{estimate_merit, Merit};
 pub use result::Enumeration;

@@ -47,13 +47,16 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use ise_obs::{Counter, Recorder};
 
 use crate::config::{Constraints, PruningConfig};
 use crate::context::EnumContext;
 use crate::engine::{
     BodyStrategy, CandidateClass, CutKeySet, DedupMode, EngineOptions, SearchState, TaskHarvest,
 };
-use crate::incremental::{incremental_cuts_opts, IncrementalEnumerator, SuspendPoint};
+use crate::incremental::{IncrementalEnumerator, SuspendPoint};
 use crate::result::Enumeration;
 use crate::stats::EnumStats;
 
@@ -251,10 +254,45 @@ pub fn run_task(
     split_threshold: Option<usize>,
     spec: &TaskSpec,
 ) -> (TaskOutput, Vec<TaskSpec>) {
+    run_task_obs(
+        ctx,
+        constraints,
+        pruning,
+        options,
+        split_threshold,
+        spec,
+        None,
+    )
+}
+
+/// [`run_task`] with an optional [`Recorder`] receiving the task's lifecycle: a
+/// per-task span (named after the [`TaskId`] path, so Chrome-trace timelines nest
+/// tasks under their worker threads), the engine's per-phase timings, and split /
+/// child-spawn counters. Recording never changes the task's output.
+#[allow(clippy::too_many_arguments)]
+pub fn run_task_obs(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    options: &EngineOptions,
+    split_threshold: Option<usize>,
+    spec: &TaskSpec,
+    rec: Option<&dyn Recorder>,
+) -> (TaskOutput, Vec<TaskSpec>) {
+    let span = match rec {
+        Some(rec) if rec.enabled() => {
+            let path: Vec<String> = spec.id.path().iter().map(u32::to_string).collect();
+            rec.span_begin("task", &format!("task {}", path.join(".")))
+        }
+        _ => ise_obs::SpanToken::NONE,
+    };
     let mut enumerator = IncrementalEnumerator::with_root_range(ctx, pruning, spec.roots.clone());
     enumerator.set_task_split(split_threshold, spec.first_root_skip);
     let mut state = SearchState::new(ctx, constraints, options.max_search_nodes, options.strategy);
     state.set_dedup_mode(options.dedup_mode);
+    if let Some(rec) = rec {
+        state.set_recorder(rec);
+    }
     if merge_uses_class_log(options) {
         state.enable_class_log();
     }
@@ -263,12 +301,22 @@ pub fn run_task(
         Some(suspend) => spec.children(suspend),
         None => Vec::new(),
     };
-    (
-        TaskOutput {
-            harvest: state.finish_task(),
-        },
-        children,
-    )
+    let output = TaskOutput {
+        harvest: state.finish_task(),
+    };
+    if let Some(rec) = rec {
+        rec.add("ise_pool_tasks_total", 1);
+        if !children.is_empty() {
+            rec.add("ise_pool_splits_total", 1);
+            rec.add("ise_pool_children_spawned_total", children.len() as u64);
+        }
+        rec.observe(
+            "ise_pool_task_nodes",
+            output.harvest.stats.search_nodes as u64,
+        );
+        rec.span_end(span);
+    }
+    (output, children)
 }
 
 /// Runs the serial engine over the first-output subtrees rooted at
@@ -312,6 +360,23 @@ fn merge_uses_class_log(options: &EngineOptions) -> bool {
 pub struct WorkStealPool<T> {
     queues: Vec<Mutex<VecDeque<T>>>,
     in_flight: AtomicUsize,
+    obs: PoolCounters,
+}
+
+/// Counter handles for the pool's scheduling events. All handles are disabled
+/// (single null-check per event) until [`WorkStealPool::set_recorder`] arms them.
+#[derive(Default)]
+struct PoolCounters {
+    /// Items seeded into the pool up front.
+    seeded: Counter,
+    /// Items pushed by a running item (split children).
+    pushed: Counter,
+    /// Items a worker popped from its own deque.
+    own_pops: Counter,
+    /// Items a worker stole from a peer's deque.
+    steals: Counter,
+    /// Items marked fully processed.
+    done: Counter,
 }
 
 impl<T> WorkStealPool<T> {
@@ -320,7 +385,22 @@ impl<T> WorkStealPool<T> {
         WorkStealPool {
             queues: (0..workers.max(1)).map(|_| Mutex::default()).collect(),
             in_flight: AtomicUsize::new(0),
+            obs: PoolCounters::default(),
         }
+    }
+
+    /// Arms the scheduling counters (`ise_pool_seeded_total`, `ise_pool_pushed_total`,
+    /// `ise_pool_own_pops_total`, `ise_pool_steals_total`, `ise_pool_done_total`).
+    /// The ledger `own_pops + steals == done` holds whenever the pool has drained.
+    /// Recording never affects scheduling.
+    pub fn set_recorder(&mut self, rec: &dyn Recorder) {
+        self.obs = PoolCounters {
+            seeded: rec.counter("ise_pool_seeded_total"),
+            pushed: rec.counter("ise_pool_pushed_total"),
+            own_pops: rec.counter("ise_pool_own_pops_total"),
+            steals: rec.counter("ise_pool_steals_total"),
+            done: rec.counter("ise_pool_done_total"),
+        };
     }
 
     /// Number of worker deques.
@@ -332,6 +412,7 @@ impl<T> WorkStealPool<T> {
     pub fn seed<I: IntoIterator<Item = T>>(&self, items: I) {
         for (i, item) in items.into_iter().enumerate() {
             self.in_flight.fetch_add(1, Ordering::AcqRel);
+            self.obs.seeded.incr();
             let queue = &self.queues[i % self.queues.len()];
             queue.lock().expect("pool lock poisoned").push_back(item);
         }
@@ -342,6 +423,7 @@ impl<T> WorkStealPool<T> {
     /// the in-flight count never drops to zero while work remains.
     pub fn push(&self, worker: usize, item: T) {
         self.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.obs.pushed.incr();
         self.queues[worker]
             .lock()
             .expect("pool lock poisoned")
@@ -358,12 +440,14 @@ impl<T> WorkStealPool<T> {
                 .expect("pool lock poisoned")
                 .pop_back()
             {
+                self.obs.own_pops.incr();
                 return Some(item);
             }
             let n = self.queues.len();
             for offset in 1..n {
                 let victim = &self.queues[(worker + offset) % n];
                 if let Some(item) = victim.lock().expect("pool lock poisoned").pop_front() {
+                    self.obs.steals.incr();
                     return Some(item);
                 }
             }
@@ -378,6 +462,7 @@ impl<T> WorkStealPool<T> {
     /// item spawned.
     pub fn done(&self) {
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.obs.done.incr();
     }
 }
 
@@ -412,6 +497,38 @@ pub fn merge_tasks_sharded(
     outputs: Vec<TaskOutput>,
     threads: usize,
 ) -> Enumeration {
+    merge_tasks_sharded_obs(ctx, options, outputs, threads, None)
+}
+
+/// [`merge_tasks_sharded`] with an optional [`Recorder`]: the merge runs under a
+/// `merge` span and each seen-set shard's reduction time lands in the
+/// `ise_merge_shard_ns` histogram, making merge serialization measurable.
+/// Recording never changes the merged result.
+pub fn merge_tasks_sharded_obs(
+    ctx: &EnumContext,
+    options: &EngineOptions,
+    outputs: Vec<TaskOutput>,
+    threads: usize,
+    rec: Option<&dyn Recorder>,
+) -> Enumeration {
+    let span = match rec {
+        Some(rec) => rec.span_begin("merge", "merge_tasks_sharded"),
+        None => ise_obs::SpanToken::NONE,
+    };
+    let merged = merge_tasks_sharded_inner(ctx, options, outputs, threads, rec);
+    if let Some(rec) = rec {
+        rec.span_end(span);
+    }
+    merged
+}
+
+fn merge_tasks_sharded_inner(
+    ctx: &EnumContext,
+    options: &EngineOptions,
+    outputs: Vec<TaskOutput>,
+    threads: usize,
+    rec: Option<&dyn Recorder>,
+) -> Enumeration {
     let mut stats = EnumStats::new();
     // Counters independent of de-duplication are plain sums: the tasks partition the
     // serial traversal (recursive splits suspend and resume at decision boundaries
@@ -443,6 +560,7 @@ pub fn merge_tasks_sharded(
             stride,
             |t, e| outputs[t].harvest.seen.key(e),
             threads,
+            rec,
         );
         for (t, out) in outputs.into_iter().enumerate() {
             let harvest = out.harvest;
@@ -481,6 +599,7 @@ pub fn merge_tasks_sharded(
             stride,
             |t, c| outputs[t].harvest.cuts[c].body().words(),
             threads,
+            rec,
         );
         for (t, out) in outputs.into_iter().enumerate() {
             for (c, cut) in out.harvest.cuts.into_iter().enumerate() {
@@ -510,6 +629,7 @@ fn duplicate_flags<'a, F>(
     stride: usize,
     key_of: F,
     threads: usize,
+    rec: Option<&dyn Recorder>,
 ) -> Vec<Vec<bool>>
 where
     F: Fn(usize, usize) -> &'a [u64] + Sync,
@@ -555,6 +675,7 @@ where
                 if shard >= MERGE_SHARDS {
                     break;
                 }
+                let shard_start = rec.map(|_| Instant::now());
                 let mut seen = CutKeySet::new(stride);
                 let mut duplicates = Vec::new();
                 for (t, task_hashes) in hashes.iter().enumerate() {
@@ -565,6 +686,9 @@ where
                             duplicates.push((t as u32, e as u32));
                         }
                     }
+                }
+                if let (Some(rec), Some(start)) = (rec, shard_start) {
+                    rec.observe("ise_merge_shard_ns", start.elapsed().as_nanos() as u64);
                 }
                 assert!(
                     dup_slots[shard].set(duplicates).is_ok(),
@@ -642,13 +766,34 @@ pub fn parallel_cuts_traced(
     pruning: &PruningConfig,
     config: &ParConfig,
 ) -> ParRun {
+    parallel_cuts_obs(ctx, constraints, pruning, config, None)
+}
+
+/// [`parallel_cuts_traced`] with an optional [`Recorder`]: worker threads are named
+/// in trace output, every task runs under its own span ([`run_task_obs`]), the pool's
+/// scheduling counters are armed, and the merge is timed per shard. Recording never
+/// changes the result — the obs-identity integration test pins byte equality against
+/// recording-off runs.
+pub fn parallel_cuts_obs(
+    ctx: &EnumContext,
+    constraints: &Constraints,
+    pruning: &PruningConfig,
+    config: &ParConfig,
+    rec: Option<&dyn Recorder>,
+) -> ParRun {
     let candidates = ctx.candidate_outputs().len();
     let tasks = config.tasks.clamp(1, candidates.max(1));
     let specs = initial_tasks(candidates, tasks);
     if specs.is_empty() || (specs.len() == 1 && config.split_threshold.is_none()) {
         // Degenerate decompositions (no candidates, or a single task with splitting
         // off) are exactly the serial run; skip the scheduler and the merge replay.
-        let enumeration = incremental_cuts_opts(ctx, constraints, pruning, &config.options);
+        let enumeration = crate::incremental::incremental_cuts_obs(
+            ctx,
+            constraints,
+            pruning,
+            &config.options,
+            rec,
+        );
         let nodes = enumeration.stats.search_nodes;
         return ParRun {
             enumeration,
@@ -661,7 +806,10 @@ pub fn parallel_cuts_traced(
         Some(_) => config.threads.max(1),
         None => config.threads.clamp(1, specs.len()),
     };
-    let pool = WorkStealPool::new(workers);
+    let mut pool = WorkStealPool::new(workers);
+    if let Some(rec) = rec {
+        pool.set_recorder(rec);
+    }
     pool.seed(specs);
     let results: Mutex<Vec<(TaskId, TaskOutput)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
@@ -669,14 +817,18 @@ pub fn parallel_cuts_traced(
             let pool = &pool;
             let results = &results;
             scope.spawn(move || {
+                if let Some(rec) = rec {
+                    rec.set_thread_name(&format!("worker-{worker}"));
+                }
                 while let Some(spec) = pool.pop(worker) {
-                    let (output, children) = run_task(
+                    let (output, children) = run_task_obs(
                         ctx,
                         constraints,
                         pruning,
                         &config.options,
                         config.split_threshold,
                         &spec,
+                        rec,
                     );
                     for child in children {
                         pool.push(worker, child);
@@ -698,7 +850,7 @@ pub fn parallel_cuts_traced(
         .collect();
     let outputs: Vec<TaskOutput> = outputs.into_iter().map(|(_, out)| out).collect();
     ParRun {
-        enumeration: merge_tasks_sharded(ctx, &config.options, outputs, config.threads),
+        enumeration: merge_tasks_sharded_obs(ctx, &config.options, outputs, config.threads, rec),
         task_nodes,
     }
 }
@@ -707,6 +859,7 @@ pub fn parallel_cuts_traced(
 mod tests {
     use super::*;
     use crate::cut::Cut;
+    use crate::incremental::incremental_cuts_opts;
     use ise_graph::DfgBuilder;
     use ise_graph::Operation;
 

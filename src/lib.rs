@@ -15,6 +15,8 @@
 //!   corpus generator behind the committed `corpus/` directory.
 //! * [`ise_cli`] — the `ise` batch driver: corpus loading, multi-threaded sharded
 //!   enumeration/selection, JSON and markdown reporting.
+//! * [`ise_obs`] — the std-only observability layer (counters, spans, Prometheus
+//!   and Chrome-trace rendering) threaded through the engine, pool, memo and daemon.
 //!
 //! # Example
 //!
@@ -36,4 +38,5 @@ pub use ise_corpus;
 pub use ise_dominators;
 pub use ise_enum;
 pub use ise_graph;
+pub use ise_obs;
 pub use ise_workloads;

@@ -1,0 +1,225 @@
+//! The observability non-interference invariant, end to end: turning recording on
+//! (`--trace-out`, `--progress`, memo/pool instrumentation and all) must not change
+//! a single byte of the `--out` JSON — across thread counts, memoization modes and
+//! forced task splits on the committed `corpus/`. This is the test-pinned form of
+//! the DESIGN.md §8 contract that `ise-obs` only *observes*: the engine, pool,
+//! memo and reporting layers may count and time themselves, but never steer.
+//!
+//! Wall-clock (`*_seconds`) fields are volatile between any two runs and are
+//! stripped before comparing a pair; nothing else is. Cross-thread-count
+//! comparisons additionally strip the configuration echo (`threads`,
+//! `par_threshold`, `split_threshold`), mirroring `ci/strip-volatile.sh`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ise_bench::json::Json;
+use ise_repro::ise_cli;
+
+/// A unique scratch file path under the system temp dir (no tempfile crate).
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ise-obs-identity-{}-{n}-{tag}", process::id()))
+}
+
+/// Runs one `ise` invocation against the committed corpus and returns the bytes
+/// it wrote to `--out`.
+fn run_to_json(subcommand: &str, extra: &[&str]) -> String {
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let out = scratch("out.json");
+    let mut args: Vec<String> = [
+        subcommand,
+        "--corpus",
+        corpus,
+        "--limit",
+        "2",
+        "--budget",
+        "20000",
+        "--out",
+        out.to_str().expect("temp path is valid UTF-8"),
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    args.extend(extra.iter().map(|s| (*s).to_string()));
+    ise_cli::run(&args).unwrap_or_else(|e| panic!("`ise {subcommand}` failed: {e}"));
+    let json = fs::read_to_string(&out).expect("--out file was written");
+    let _ = fs::remove_file(&out);
+    json
+}
+
+/// Removes every `"key":value` pair whose key satisfies `volatile` (plus the
+/// separating comma), leaving all other bytes untouched. Values may be numbers,
+/// strings, or flat objects/arrays — enough for the report schema.
+fn strip_fields(json: &str, volatile: &dyn Fn(&str) -> bool) -> String {
+    let bytes = json.as_bytes();
+    let mut out = String::with_capacity(json.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if let Some(end) = json[i + 1..].find('"').map(|o| i + 1 + o) {
+                let key = &json[i + 1..end];
+                if bytes.get(end + 1) == Some(&b':') && volatile(key) {
+                    let mut j = end + 2;
+                    let mut depth = 0usize;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'{' | b'[' => depth += 1,
+                            b'}' | b']' if depth == 0 => break,
+                            b'}' | b']' => depth -= 1,
+                            b'"' => {
+                                j += 1;
+                                while j < bytes.len() && bytes[j] != b'"' {
+                                    j += 1;
+                                }
+                            }
+                            b',' if depth == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b',' {
+                        j += 1; // interior field: its own separator goes with it
+                    } else if out.ends_with(',') {
+                        out.pop(); // final field: the preceding separator goes
+                    }
+                    i = j;
+                    continue;
+                }
+                out.push_str(&json[i..=end]);
+                i = end + 1;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+fn strip_timing(json: &str) -> String {
+    strip_fields(json, &|key| key.ends_with("_seconds"))
+}
+
+fn strip_config_echo(json: &str) -> String {
+    strip_fields(json, &|key| {
+        key.ends_with("_seconds")
+            || matches!(
+                key,
+                "threads" | "par_threshold" | "split_threshold" | "tasks"
+            )
+    })
+}
+
+/// Asserts the trace file a recording run produced is loadable Chrome
+/// trace-event JSON with at least one event, then removes it.
+fn check_trace(path: &PathBuf) {
+    let trace = fs::read_to_string(path).expect("--trace-out file was written");
+    assert!(
+        trace.starts_with("{\"traceEvents\":["),
+        "trace must use the chrome trace-event envelope: {}",
+        &trace[..trace.len().min(60)]
+    );
+    let doc = Json::parse(&trace).expect("trace is well-formed JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(
+        !events.is_empty(),
+        "a recorded run emits at least one event"
+    );
+    let _ = fs::remove_file(path);
+}
+
+/// `ise enumerate`: recording on vs off over the (threads × split-threshold)
+/// grid, plus cross-thread-count invariance with recording ON everywhere.
+#[test]
+fn enumerate_json_is_byte_identical_with_recording_on() {
+    let mut across: Vec<String> = Vec::new();
+    for threads in ["1", "2"] {
+        for split in [None, Some("1000")] {
+            let mut config = vec!["--threads", threads, "--par-threshold", "1"];
+            if let Some(split) = split {
+                config.extend(["--split-threshold", split]);
+            }
+            let off = run_to_json("enumerate", &config);
+
+            let trace = scratch("enumerate-trace.json");
+            let mut on_args = config.clone();
+            let trace_str = trace.to_str().expect("temp path is valid UTF-8");
+            on_args.extend(["--trace-out", trace_str, "--progress"]);
+            let on = run_to_json("enumerate", &on_args);
+            check_trace(&trace);
+
+            assert_eq!(
+                strip_timing(&off),
+                strip_timing(&on),
+                "recording changed enumerate --out bytes (threads={threads} split={split:?})"
+            );
+            across.push(strip_config_echo(&on));
+        }
+    }
+    for stripped in &across[1..] {
+        assert_eq!(
+            &across[0], stripped,
+            "enumerate results must not depend on threads/split with recording on"
+        );
+    }
+}
+
+/// `ise group`: the memo dimension — with and without `--no-memo`, recording on
+/// vs off must agree byte-for-byte, and memoization itself must not change the
+/// recorded run's payload.
+#[test]
+fn group_json_is_byte_identical_with_recording_on_and_memo_off() {
+    let mut payloads: Vec<String> = Vec::new();
+    for memo in [&[][..], &["--no-memo"][..]] {
+        let mut config = vec!["--threads", "2", "--par-threshold", "1"];
+        config.extend_from_slice(memo);
+        let off = run_to_json("group", &config);
+
+        let trace = scratch("group-trace.json");
+        let mut on_args = config.clone();
+        let trace_str = trace.to_str().expect("temp path is valid UTF-8");
+        on_args.extend(["--trace-out", trace_str]);
+        let on = run_to_json("group", &on_args);
+        check_trace(&trace);
+
+        assert_eq!(
+            strip_timing(&off),
+            strip_timing(&on),
+            "recording changed group --out bytes (memo={})",
+            memo.is_empty()
+        );
+        payloads.push(strip_timing(&on));
+    }
+    assert_eq!(
+        payloads[0], payloads[1],
+        "memoization must be a pure cache: --no-memo may not change group output"
+    );
+}
+
+/// `ise select --global`: the early-return global-selection path must still
+/// write the trace and produce identical bytes with recording on.
+#[test]
+fn select_global_json_is_byte_identical_with_recording_on() {
+    let config = vec!["--threads", "2", "--par-threshold", "1", "--global"];
+    let off = run_to_json("select", &config);
+
+    let trace = scratch("select-trace.json");
+    let mut on_args = config.clone();
+    let trace_str = trace.to_str().expect("temp path is valid UTF-8");
+    on_args.extend(["--trace-out", trace_str]);
+    let on = run_to_json("select", &on_args);
+    check_trace(&trace);
+
+    assert_eq!(
+        strip_timing(&off),
+        strip_timing(&on),
+        "recording changed select --global --out bytes"
+    );
+}

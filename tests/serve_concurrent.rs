@@ -189,6 +189,29 @@ fn concurrent_mixed_workload_matches_serial_replay() {
         counter("hits") >= counter("coalesced"),
         "every coalesced answer is a hit: {stats}"
     );
+
+    // Observability ledgers, under full concurrency. Every span that was entered
+    // was exited (no leaked tokens on any path, error dispatches included), the
+    // registry's request counter agrees with the `server` object it feeds, and
+    // every task the pool handed out was popped from its owner's deque or stolen
+    // — never both, never neither.
+    let registry = state.registry();
+    assert_eq!(
+        registry.spans_entered(),
+        registry.spans_exited(),
+        "span enter/exit ledger must balance"
+    );
+    assert_eq!(
+        registry.counter_value("ise_serve_requests_total"),
+        counter("requests"),
+        "the stats op and the metrics registry share one requests counter"
+    );
+    assert_eq!(
+        registry.counter_value("ise_pool_own_pops_total")
+            + registry.counter_value("ise_pool_steals_total"),
+        registry.counter_value("ise_pool_done_total"),
+        "own pops + steals must account for every executed pool item"
+    );
 }
 
 /// The single-flight guarantee, pinned with the compute-delay seam: four
